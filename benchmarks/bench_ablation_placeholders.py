@@ -1,0 +1,88 @@
+"""Ablation — placeholder handling choices (Section 4.1.3 / Lemma 4).
+
+DESIGN.md calls out two design choices around maximal-length placeholders:
+
+* splitting maximal placeholders on common separators (recovers the coverage
+  lost when a separator falls inside a maximal placeholder — Lemma 4 case 1),
+* including the literal-only skeleton (lets constants that happen to occur in
+  the source still be treated as literals).
+
+This ablation measures the coverage and the size of the search space with
+each choice disabled, on the web-tables and spreadsheet benchmarks.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale, write_report
+
+from repro.core.config import DiscoveryConfig
+from repro.core.discovery import TransformationDiscovery
+from repro.datasets.registry import load_dataset
+from repro.evaluation.report import format_table
+
+CONFIGURATIONS = {
+    "paper default": DiscoveryConfig(),
+    "no separator splitting": DiscoveryConfig(split_placeholders_on_separators=False),
+    "no literal-only skeleton": DiscoveryConfig(include_literal_only_skeleton=False),
+    "2 placeholders max": DiscoveryConfig(max_placeholders=2),
+    "4 placeholders max": DiscoveryConfig(max_placeholders=4),
+}
+
+DATASETS = ["web", "spreadsheet"]
+
+
+def run_configuration(
+    name: str, config: DiscoveryConfig, dataset_name: str, scale: float
+) -> dict[str, object]:
+    """Average coverage/search-space statistics of one configuration."""
+    dataset = load_dataset(dataset_name, scale=scale, seed=0)
+    engine = TransformationDiscovery(config)
+    top = cover = generated = ntrans = 0.0
+    for pair in dataset:
+        result = engine.discover_from_strings(pair.golden_string_pairs())
+        top += result.top_coverage
+        cover += result.cover_coverage
+        generated += result.stats.generated_transformations
+        ntrans += result.num_transformations
+    count = len(dataset)
+    return {
+        "dataset": dataset_name,
+        "configuration": name,
+        "top_cov": top / count,
+        "coverage": cover / count,
+        "generated": generated / count,
+        "ntrans": ntrans / count,
+    }
+
+
+def test_ablation_placeholder_handling(benchmark):
+    """Compare placeholder-handling configurations on coverage and search size."""
+    scale = bench_scale()
+    rows = []
+    for dataset_name in DATASETS:
+        for name, config in CONFIGURATIONS.items():
+            rows.append(run_configuration(name, config, dataset_name, scale))
+
+    web = load_dataset("web", scale=scale, seed=0)[0]
+    benchmark(
+        TransformationDiscovery().discover_from_strings, web.golden_string_pairs()
+    )
+
+    report = format_table(
+        rows,
+        columns=["dataset", "configuration", "top_cov", "coverage", "generated", "ntrans"],
+        title=f"Ablation: placeholder handling (scale={scale})",
+    )
+    write_report("ablation_placeholders", report)
+
+    by_key = {(r["dataset"], r["configuration"]): r for r in rows}
+    for dataset_name in DATASETS:
+        default = by_key[(dataset_name, "paper default")]
+        no_split = by_key[(dataset_name, "no separator splitting")]
+        # Separator splitting never hurts coverage and typically helps.
+        assert default["coverage"] >= no_split["coverage"] - 1e-9
+        # A larger placeholder budget can only enlarge the search space.
+        assert (
+            by_key[(dataset_name, "4 placeholders max")]["generated"]
+            >= by_key[(dataset_name, "2 placeholders max")]["generated"]
+        )

@@ -1,0 +1,70 @@
+"""Figure 3 — Effect of pruning as the input length grows.
+
+The paper fixes the number of rows at 100 and sweeps the row length from 20
+to 280 characters, reporting the percentage of generated transformations that
+are duplicates and the cache hit ratio.
+
+Expected shape: both percentages stay high and the duplicate percentage grows
+with the input length (longer rows mean more chance matches, which different
+rows generate redundantly).
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale, write_report
+
+from repro.core.discovery import TransformationDiscovery
+from repro.datasets.synthetic import generate_length_sweep_pair
+from repro.evaluation.report import format_table
+
+#: Row lengths swept (the paper goes to 280; trimmed proportionally to scale).
+FULL_LENGTHS = [20, 60, 100, 140, 180, 220, 260]
+
+
+def sweep_lengths(scale: float) -> list[int]:
+    """The subset of FULL_LENGTHS used at the given scale."""
+    count = max(3, int(round(len(FULL_LENGTHS) * min(1.0, scale * 4))))
+    return FULL_LENGTHS[:count]
+
+
+def run_length_point(row_length: int, num_rows: int) -> dict[str, float]:
+    """One point of the Figure 3 sweep."""
+    pair, _ = generate_length_sweep_pair(
+        num_rows=num_rows, row_length=row_length, seed=row_length
+    )
+    engine = TransformationDiscovery()
+    result = engine.discover_from_strings(pair.golden_string_pairs())
+    return {
+        "length": row_length,
+        "generated": result.stats.generated_transformations,
+        "to_try": result.stats.unique_transformations,
+        "duplicate_pct": 100.0 * result.stats.duplicate_ratio,
+        "cache_hit_pct": 100.0 * result.stats.cache_hit_ratio,
+    }
+
+
+def test_fig3_pruning_vs_input_length(benchmark):
+    """Regenerate Figure 3 (pruning percentage vs input length)."""
+    scale = bench_scale()
+    num_rows = max(20, int(round(100 * scale)))
+    lengths = sweep_lengths(scale)
+    rows = [run_length_point(length, num_rows) for length in lengths]
+
+    benchmark(run_length_point, lengths[0], num_rows)
+
+    report = format_table(
+        rows,
+        columns=["length", "generated", "to_try", "duplicate_pct", "cache_hit_pct"],
+        title=(
+            "Figure 3: pruning vs input length "
+            f"(rows={num_rows}, lengths={lengths})"
+        ),
+    )
+    write_report("fig3_pruning_vs_length", report)
+
+    # Shape: the cache stays effective at every length, and duplicates become
+    # (weakly) more prevalent as rows get longer.
+    for row in rows:
+        assert row["cache_hit_pct"] > 40.0
+    assert rows[-1]["duplicate_pct"] >= rows[0]["duplicate_pct"] - 5.0
+    assert rows[-1]["generated"] > rows[0]["generated"]

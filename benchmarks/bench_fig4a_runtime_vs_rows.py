@@ -1,0 +1,80 @@
+"""Figure 4a — Runtime breakdown as the number of rows grows (vertical growth).
+
+The paper fixes the row length at 28 characters and sweeps the number of rows
+up to 2000, reporting the wall-clock time of each pipeline module (unit
+extraction, placeholder generation, duplicate removal, applying the
+transformations).
+
+Expected shape: applying transformations dominates and grows the fastest with
+the number of rows; the pruning keeps the total curve closer to linear than
+the quadratic worst case.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale, write_report
+
+from repro.core.discovery import TransformationDiscovery
+from repro.datasets.synthetic import SyntheticConfig, generate_table_pair
+from repro.evaluation.report import format_table
+
+#: Row counts swept (the paper goes to 2000; trimmed proportionally to scale).
+FULL_ROW_COUNTS = [50, 100, 200, 400, 800, 1600]
+
+#: Fixed row length for this sweep, as in the paper.
+ROW_LENGTH = 28
+
+
+def sweep_rows(scale: float) -> list[int]:
+    """The subset of FULL_ROW_COUNTS used at the given scale."""
+    count = max(3, int(round(len(FULL_ROW_COUNTS) * min(1.0, scale * 4))))
+    return FULL_ROW_COUNTS[:count]
+
+
+def run_row_point(num_rows: int) -> dict[str, float]:
+    """One point of the Figure 4a sweep."""
+    config = SyntheticConfig(
+        num_rows=num_rows, min_length=ROW_LENGTH, max_length=ROW_LENGTH, seed=num_rows
+    )
+    pair, _ = generate_table_pair(config)
+    engine = TransformationDiscovery()
+    result = engine.discover_from_strings(pair.golden_string_pairs())
+    stages = result.stats.stage_seconds
+    return {
+        "rows": num_rows,
+        "unit_extraction_s": stages.get("unit_extraction", 0.0),
+        "placeholder_gen_s": stages.get("placeholder_generation", 0.0),
+        "duplicate_removal_s": stages.get("duplicate_removal", 0.0),
+        "applying_trans_s": stages.get("applying_transformations", 0.0),
+        "total_s": result.stats.total_seconds,
+    }
+
+
+def test_fig4a_runtime_vs_rows(benchmark):
+    """Regenerate Figure 4a (runtime breakdown vs number of rows)."""
+    scale = bench_scale()
+    row_counts = sweep_rows(scale)
+    rows = [run_row_point(count) for count in row_counts]
+
+    benchmark(run_row_point, row_counts[0])
+
+    report = format_table(
+        rows,
+        columns=[
+            "rows",
+            "unit_extraction_s",
+            "placeholder_gen_s",
+            "duplicate_removal_s",
+            "applying_trans_s",
+            "total_s",
+        ],
+        title=f"Figure 4a: runtime vs number of rows (length={ROW_LENGTH})",
+        float_format="{:.4f}",
+    )
+    write_report("fig4a_runtime_vs_rows", report)
+
+    # Shape: total time increases with the number of rows, and applying the
+    # transformations is the dominant module at the largest size.
+    assert rows[-1]["total_s"] > rows[0]["total_s"]
+    largest = rows[-1]
+    assert largest["applying_trans_s"] >= largest["placeholder_gen_s"]

@@ -1,0 +1,75 @@
+"""Figure 4b — Runtime breakdown as the input length grows (horizontal growth).
+
+The paper fixes the number of rows at 100 and sweeps the row length from 20
+to 280 characters.  With no pruning the running time would grow cubically in
+the length (l^p with p=3); the pruning strategies keep it far below that, and
+beyond a certain length the duplicate-removal / placeholder-generation stages
+take longer than applying the surviving transformations.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale, write_report
+
+from repro.core.discovery import TransformationDiscovery
+from repro.datasets.synthetic import generate_length_sweep_pair
+from repro.evaluation.report import format_table
+
+FULL_LENGTHS = [20, 60, 100, 140, 180, 220, 260]
+
+
+def sweep_lengths(scale: float) -> list[int]:
+    """The subset of FULL_LENGTHS used at the given scale."""
+    count = max(3, int(round(len(FULL_LENGTHS) * min(1.0, scale * 4))))
+    return FULL_LENGTHS[:count]
+
+
+def run_length_point(row_length: int, num_rows: int) -> dict[str, float]:
+    """One point of the Figure 4b sweep."""
+    pair, _ = generate_length_sweep_pair(
+        num_rows=num_rows, row_length=row_length, seed=1000 + row_length
+    )
+    engine = TransformationDiscovery()
+    result = engine.discover_from_strings(pair.golden_string_pairs())
+    stages = result.stats.stage_seconds
+    return {
+        "length": row_length,
+        "unit_extraction_s": stages.get("unit_extraction", 0.0),
+        "placeholder_gen_s": stages.get("placeholder_generation", 0.0),
+        "duplicate_removal_s": stages.get("duplicate_removal", 0.0),
+        "applying_trans_s": stages.get("applying_transformations", 0.0),
+        "total_s": result.stats.total_seconds,
+    }
+
+
+def test_fig4b_runtime_vs_length(benchmark):
+    """Regenerate Figure 4b (runtime breakdown vs input length)."""
+    scale = bench_scale()
+    num_rows = max(20, int(round(100 * scale)))
+    lengths = sweep_lengths(scale)
+    rows = [run_length_point(length, num_rows) for length in lengths]
+
+    benchmark(run_length_point, lengths[0], num_rows)
+
+    report = format_table(
+        rows,
+        columns=[
+            "length",
+            "unit_extraction_s",
+            "placeholder_gen_s",
+            "duplicate_removal_s",
+            "applying_trans_s",
+            "total_s",
+        ],
+        title=f"Figure 4b: runtime vs input length (rows={num_rows})",
+        float_format="{:.4f}",
+    )
+    write_report("fig4b_runtime_vs_length", report)
+
+    # Shape: total time grows with the input length but far slower than the
+    # un-pruned cubic bound (doubling the length should not increase the total
+    # time by the 8x a cubic growth would imply — allow generous slack).
+    assert rows[-1]["total_s"] > rows[0]["total_s"]
+    length_ratio = rows[-1]["length"] / rows[0]["length"]
+    time_ratio = rows[-1]["total_s"] / max(rows[0]["total_s"], 1e-9)
+    assert time_ratio < length_ratio**3

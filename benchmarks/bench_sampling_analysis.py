@@ -1,0 +1,107 @@
+"""Section 5.3 — Performance under sampling (analytic curves + empirical check).
+
+The paper argues that a small random sample is enough for our approach to
+discover any transformation with non-trivial coverage (it needs only two
+covered rows in the sample), while Auto-Join needs every row of a subset to
+be covered and therefore many more subsets.  This benchmark prints the
+analytic discovery probabilities for a grid of coverages and sample sizes and
+verifies them empirically with the discovery engine.
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import bench_scale, write_report
+
+from repro.core.config import DiscoveryConfig
+from repro.core.discovery import TransformationDiscovery
+from repro.core.sampling import (
+    probability_discovered,
+    required_subsets_for_autojoin,
+)
+from repro.evaluation.report import format_table
+
+COVERAGES = [0.05, 0.1, 0.25, 0.5]
+SAMPLE_SIZES = [10, 50, 100, 200]
+
+
+def analytic_rows() -> list[dict[str, float]]:
+    """The analytic discovery-probability grid plus Auto-Join subset counts."""
+    rows = []
+    for coverage in COVERAGES:
+        row: dict[str, float] = {"coverage": coverage}
+        for size in SAMPLE_SIZES:
+            row[f"P_disc_s{size}"] = probability_discovered(coverage, size)
+        row["autojoin_subsets_s2"] = required_subsets_for_autojoin(coverage, 2)
+        rows.append(row)
+    return rows
+
+
+def empirical_discovery_rate(
+    coverage: float, sample_size: int, trials: int, num_pairs: int = 400
+) -> float:
+    """Fraction of trials in which a q-coverage rule is found from a sample.
+
+    The corpus mixes one dominant formatting rule ('last, first' -> 'first
+    last') applied to a *coverage* fraction of rows with per-row noise on the
+    rest; a trial succeeds when discovery on a random sample of the pairs
+    still reports a transformation covering at least two sampled rows.
+    """
+    rng = random.Random(42)
+    successes = 0
+    for trial in range(trials):
+        pairs = []
+        for index in range(num_pairs):
+            last = f"last{index:04d}"
+            first = f"first{index:04d}"
+            if rng.random() < coverage:
+                pairs.append((f"{last}, {first}", f"{first} {last}"))
+            else:
+                pairs.append((f"{last}, {first}", f"row-{trial}-{index}-noise"))
+        config = DiscoveryConfig(sample_size=sample_size, sample_seed=trial)
+        result = TransformationDiscovery(config).discover_from_strings(pairs)
+        best = result.best
+        if best is not None and best.coverage >= 2 and not best.transformation.is_constant:
+            successes += 1
+    return successes / trials
+
+
+def test_sampling_analysis(benchmark):
+    """Regenerate the Section 5.3 sampling analysis."""
+    scale = bench_scale()
+    rows = analytic_rows()
+    report = format_table(
+        rows,
+        title="Section 5.3: probability a q-coverage transformation is discovered",
+    )
+
+    trials = max(5, int(round(20 * scale)))
+    empirical = []
+    for coverage in (0.1, 0.5):
+        observed = empirical_discovery_rate(coverage, sample_size=100, trials=trials)
+        predicted = probability_discovered(coverage, 100)
+        empirical.append(
+            {
+                "coverage": coverage,
+                "sample_size": 100,
+                "predicted": predicted,
+                "observed": observed,
+                "trials": trials,
+            }
+        )
+    report += "\n\n" + format_table(
+        empirical,
+        title="Empirical check (discovery from a 100-pair sample)",
+    )
+    write_report("sampling_analysis", report)
+
+    benchmark(probability_discovered, 0.05, 100)
+
+    # Shape assertions: the paper's two worked examples and the empirical
+    # agreement with the analytic prediction.
+    grid = {row["coverage"]: row for row in rows}
+    assert grid[0.05]["P_disc_s100"] > 0.95
+    assert grid[0.05]["autojoin_subsets_s2"] == 400
+    for row in empirical:
+        assert row["observed"] >= row["predicted"] - 0.25

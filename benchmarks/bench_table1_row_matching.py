@@ -1,0 +1,84 @@
+"""Table 1 — Row matching performance.
+
+For every dataset the paper reports: number of rows, average join-entry
+length, number of candidate pairs produced by the n-gram matcher, and the
+precision / recall / F1 of those candidates against the golden matching.
+
+Expected shape (paper): P/R above 0.8 on web, spreadsheet, and synthetic
+data; open data keeps high recall but collapses in precision because of
+low-information address n-grams.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale, write_report
+
+from repro.datasets.registry import load_dataset
+from repro.evaluation.matching_metrics import evaluate_matching
+from repro.evaluation.report import format_table
+from repro.matching.row_matcher import NGramRowMatcher
+
+DATASETS = ["web", "spreadsheet", "open", "synth-50", "synth-50L", "synth-500"]
+
+
+def run_row_matching(dataset_name: str, scale: float) -> dict[str, float]:
+    """Match every pair of the dataset and aggregate Table-1 style metrics."""
+    dataset = load_dataset(dataset_name, scale=scale, seed=0)
+    matcher = NGramRowMatcher()
+    rows = 0.0
+    length = 0.0
+    num_pairs = 0.0
+    precision = recall = f1 = 0.0
+    for pair in dataset:
+        candidates = matcher.match(
+            pair.source,
+            pair.target,
+            source_column=pair.source_column,
+            target_column=pair.target_column,
+        )
+        metrics = evaluate_matching(candidates, pair.golden_pairs)
+        rows += pair.num_source_rows
+        length += pair.average_join_length
+        num_pairs += len(candidates)
+        precision += metrics.precision
+        recall += metrics.recall
+        f1 += metrics.f1
+    count = len(dataset)
+    return {
+        "dataset": dataset_name,
+        "rows": rows / count,
+        "avg_len": length / count,
+        "pairs": num_pairs / count,
+        "P": precision / count,
+        "R": recall / count,
+        "F1": f1 / count,
+    }
+
+
+def test_table1_row_matching(benchmark):
+    """Regenerate Table 1 (row matching performance)."""
+    scale = bench_scale()
+    rows = [run_row_matching(name, scale) for name in DATASETS[:-1]]
+    # Benchmark the matcher itself on the synthetic dataset (stable workload).
+    synth = load_dataset("synth-50", scale=scale, seed=0)[0]
+    matcher = NGramRowMatcher()
+    benchmark(
+        matcher.match,
+        synth.source,
+        synth.target,
+        source_column=synth.source_column,
+        target_column=synth.target_column,
+    )
+    report = format_table(
+        rows,
+        columns=["dataset", "rows", "avg_len", "pairs", "P", "R", "F1"],
+        title=f"Table 1: row matching performance (scale={scale})",
+    )
+    write_report("table1_row_matching", report)
+    by_name = {row["dataset"]: row for row in rows}
+    # Shape assertions from the paper.
+    assert by_name["spreadsheet"]["F1"] > 0.7
+    assert by_name["web"]["F1"] > 0.5
+    assert by_name["synth-50"]["P"] > 0.8
+    assert by_name["open"]["R"] > 0.6
+    assert by_name["open"]["P"] < by_name["spreadsheet"]["P"]

@@ -1,0 +1,50 @@
+"""Shared helpers for the benchmark harness.
+
+Every module under ``benchmarks/`` regenerates one table or figure of the
+paper's evaluation (Section 6).  Benchmarks run at a reduced scale by default
+so the whole harness finishes in minutes on a laptop; set the environment
+variable ``REPRO_BENCH_SCALE`` (e.g. ``1.0`` for paper scale, ``0.05`` for a
+smoke run) to change it.
+
+Each benchmark prints the rows of the table/figure it reproduces (the same
+columns the paper reports) and also appends them to
+``benchmarks/results/<name>.txt`` so EXPERIMENTS.md can reference concrete
+numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+#: Directory where benchmark reports are written.
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale(default: float = 0.15) -> float:
+    """The dataset scale factor for benchmarks (1.0 = paper scale)."""
+    value = os.environ.get("REPRO_BENCH_SCALE", "")
+    if not value:
+        return default
+    scale = float(value)
+    if scale <= 0:
+        raise ValueError(f"REPRO_BENCH_SCALE must be positive, got {scale}")
+    return scale
+
+
+def write_report(name: str, text: str) -> Path:
+    """Write a benchmark report to ``benchmarks/results/<name>.txt`` and echo it."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print()
+    print(text)
+    return path
+
+
+@pytest.fixture(scope="session")
+def scale() -> float:
+    """Session-wide dataset scale factor."""
+    return bench_scale()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Joining phone-number columns with mismatched formats (introduction example).
+
+A phone number may appear as ``(780) 432-3636``, ``+1 780 432 3636`` or
+``1-780-432-3636`` depending on the source.  This example builds two contact
+tables with different phone formats, learns the transformation between them,
+and compares the transformation join against a plain equi-join and the
+Auto-FuzzyJoin similarity baseline.
+
+Run with::
+
+    python examples/phone_join.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro import JoinPipeline, Table
+from repro.baselines import AutoFuzzyJoin
+from repro.evaluation import evaluate_join
+from repro.table.ops import equi_join
+
+
+def build_tables(num_rows: int = 40, seed: int = 7) -> tuple[Table, Table, list[tuple[int, int]]]:
+    """Two contact lists sharing phone numbers but not their formatting."""
+    rng = random.Random(seed)
+    crm_phones = []
+    billing_phones = []
+    accounts = []
+    for index in range(num_rows):
+        area = rng.choice(["780", "403", "587", "825"])
+        prefix = rng.randint(200, 999)
+        line = rng.randint(1000, 9999)
+        crm_phones.append(f"({area}) {prefix}-{line}")
+        billing_phones.append(f"1-{area}-{prefix}-{line}")
+        accounts.append(f"ACCT-{index:04d}")
+    crm = Table(
+        {"phone": crm_phones, "account": accounts},
+        name="crm_contacts",
+    )
+    billing = Table(
+        {"phone": billing_phones, "balance": [str(rng.randint(0, 900)) for _ in range(num_rows)]},
+        name="billing_contacts",
+    )
+    return crm, billing, [(i, i) for i in range(num_rows)]
+
+
+def main() -> None:
+    crm, billing, golden = build_tables()
+
+    print("A plain equi-join finds nothing (the formats never match exactly):")
+    plain = equi_join(crm, billing, left_on="phone", right_on="phone")
+    print(f"  equi-join pairs: {len(plain)}")
+    print()
+
+    print("The transformation join learns the reformatting and joins everything:")
+    pipeline = JoinPipeline(min_support=0.05)
+    outcome = pipeline.run(crm, billing, source_column="phone", target_column="phone")
+    ours = evaluate_join(outcome.joined_pairs, golden)
+    print(f"  candidate pairs:     {outcome.candidate_pairs}")
+    print(f"  best transformation: {outcome.discovery.best.transformation}")
+    print(
+        f"  join quality:        precision={ours.precision:.2f} "
+        f"recall={ours.recall:.2f} f1={ours.f1:.2f}"
+    )
+    print()
+
+    print("Auto-FuzzyJoin (similarity only, no transformations) for comparison:")
+    fuzzy = AutoFuzzyJoin().join(
+        crm, billing, source_column="phone", target_column="phone"
+    )
+    theirs = evaluate_join(fuzzy.as_set(), golden)
+    print(
+        f"  chosen similarity:   {fuzzy.similarity} at threshold {fuzzy.threshold}"
+    )
+    print(
+        f"  join quality:        precision={theirs.precision:.2f} "
+        f"recall={theirs.recall:.2f} f1={theirs.f1:.2f}"
+    )
+    print()
+    print(
+        "Interpretable output: the learned transformation is a program you can "
+        "read, audit, and re-apply to new rows as the tables grow."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Baseline methods the paper compares against.
+
+* :mod:`repro.baselines.naive` — the brute-force enumeration baseline of
+  Section 3.1 (only tractable on tiny inputs; used for correctness checks).
+* :mod:`repro.baselines.autojoin` — a reimplementation of Auto-Join
+  (Zhu et al., VLDB 2017) as described in Section 3.2: subset sampling plus
+  recursive best-unit search with backtracking over the full parameter space.
+* :mod:`repro.baselines.fuzzyjoin` — an Auto-FuzzyJoin-style similarity join
+  (Li et al., SIGMOD 2021): no transformations, joins rows whose textual
+  similarity clears an automatically chosen threshold.
+"""
+
+from repro.baselines.autojoin import AutoJoin, AutoJoinConfig, AutoJoinResult
+from repro.baselines.fuzzyjoin import AutoFuzzyJoin, FuzzyJoinConfig
+from repro.baselines.naive import NaiveDiscovery, NaiveConfig
+
+__all__ = [
+    "AutoFuzzyJoin",
+    "AutoJoin",
+    "AutoJoinConfig",
+    "AutoJoinResult",
+    "FuzzyJoinConfig",
+    "NaiveConfig",
+    "NaiveDiscovery",
+]

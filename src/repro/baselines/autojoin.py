@@ -1,0 +1,262 @@
+"""A reimplementation of Auto-Join (Zhu et al., VLDB 2017; Section 3.2).
+
+Auto-Join addresses the explosion in the number of transformations by taking
+small subsets of the input and assuming a single transformation covers every
+pair in each subset.  For one subset the search proceeds as follows:
+
+1. enumerate every transformation unit with every parameter assignment over
+   the parameter space of the inputs (the "blind search" the paper contrasts
+   its own placeholder-guided search with),
+2. keep the units whose output is a contiguous block of the target for every
+   pair of the subset, sorted by the average length of target text covered,
+3. take the best unit, remove the covered block from every target, and
+   recursively solve the remaining text on the left and on the right,
+4. on failure, backtrack to the next-best unit,
+5. stop when both remainders are empty (success) or the candidate list is
+   exhausted (failure → the subset yields no transformation).
+
+The search is run on ``num_subsets`` random subsets of ``subset_size`` pairs;
+all transformations found form the returned set.  A wall-clock budget mirrors
+the week-long timeout the paper had to impose.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.core.coverage import CoverageComputer, CoverageResult
+from repro.core.cover import cover_fraction, top_k_by_coverage
+from repro.core.pairs import RowPair, pairs_from_strings
+from repro.core.transformation import Transformation
+from repro.core.units import Literal, Split, SplitSubstr, Substr, TransformationUnit
+
+
+@dataclass(frozen=True)
+class AutoJoinConfig:
+    """Parameters of the Auto-Join reimplementation.
+
+    The defaults follow the paper's experimental setup (Section 6.2):
+    6 subsets of 2 rows each, recursion depth bounded by the number of
+    placeholders, ``SplitSubstr`` included but ``TwoCharSplitSubstr``/
+    ``SplitSplitSubstr`` excluded.
+    """
+
+    num_subsets: int = 6
+    subset_size: int = 2
+    max_depth: int = 3
+    include_split_substr: bool = True
+    max_source_length: int = 60
+    time_limit_seconds: float = 60.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_subsets < 1:
+            raise ValueError(f"num_subsets must be >= 1, got {self.num_subsets}")
+        if self.subset_size < 1:
+            raise ValueError(f"subset_size must be >= 1, got {self.subset_size}")
+        if self.max_depth < 1:
+            raise ValueError(f"max_depth must be >= 1, got {self.max_depth}")
+
+
+@dataclass
+class AutoJoinResult:
+    """Transformations found by Auto-Join plus bookkeeping."""
+
+    pairs: list[RowPair]
+    transformations: list[Transformation] = field(default_factory=list)
+    coverage_results: list[CoverageResult] = field(default_factory=list)
+    units_enumerated: int = 0
+    subsets_tried: int = 0
+    subsets_succeeded: int = 0
+    timed_out: bool = False
+    elapsed_seconds: float = 0.0
+
+    @property
+    def top_coverage(self) -> float:
+        """Coverage fraction of the best single transformation."""
+        if not self.coverage_results or not self.pairs:
+            return 0.0
+        best = top_k_by_coverage(self.coverage_results, 1)
+        return best[0].coverage_fraction(len(self.pairs)) if best else 0.0
+
+    @property
+    def cover_coverage(self) -> float:
+        """Coverage fraction of the union of all returned transformations."""
+        return cover_fraction(self.coverage_results, len(self.pairs))
+
+    @property
+    def num_transformations(self) -> int:
+        """Number of distinct transformations returned."""
+        return len(self.transformations)
+
+
+class AutoJoin:
+    """Subset-sampling, backtracking transformation search."""
+
+    def __init__(self, config: AutoJoinConfig | None = None) -> None:
+        self._config = config or AutoJoinConfig()
+        self._deadline = 0.0
+        self._units_enumerated = 0
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def discover_from_strings(
+        self, pairs: Sequence[tuple[str, str]]
+    ) -> AutoJoinResult:
+        """Convenience wrapper over plain string tuples."""
+        return self.discover(pairs_from_strings(pairs))
+
+    def discover(self, pairs: Sequence[RowPair]) -> AutoJoinResult:
+        """Run Auto-Join on *pairs* and return the transformations found."""
+        pairs = list(pairs)
+        if not pairs:
+            return AutoJoinResult(pairs=[])
+        config = self._config
+        rng = random.Random(config.seed)
+        started = time.perf_counter()
+        self._deadline = started + config.time_limit_seconds
+        self._units_enumerated = 0
+
+        transformations: dict[Transformation, None] = {}
+        subsets_tried = 0
+        subsets_succeeded = 0
+        timed_out = False
+        for _ in range(config.num_subsets):
+            if time.perf_counter() > self._deadline:
+                timed_out = True
+                break
+            subset_size = min(config.subset_size, len(pairs))
+            subset = rng.sample(pairs, subset_size)
+            subsets_tried += 1
+            units = self._find_transformation(
+                [(p.source, p.target) for p in subset], config.max_depth
+            )
+            if units is not None and units:
+                subsets_succeeded += 1
+                transformations.setdefault(Transformation(units).simplified(), None)
+
+        found = list(transformations)
+        computer = CoverageComputer(pairs, use_unit_cache=False)
+        coverage_results = [computer.coverage_of(t) for t in found]
+        elapsed = time.perf_counter() - started
+        return AutoJoinResult(
+            pairs=pairs,
+            transformations=found,
+            coverage_results=coverage_results,
+            units_enumerated=self._units_enumerated,
+            subsets_tried=subsets_tried,
+            subsets_succeeded=subsets_succeeded,
+            timed_out=timed_out or time.perf_counter() > self._deadline,
+            elapsed_seconds=elapsed,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Recursive search over one subset
+    # ------------------------------------------------------------------ #
+    def _find_transformation(
+        self, rows: list[tuple[str, str]], depth: int
+    ) -> list[TransformationUnit] | None:
+        """Find a unit sequence mapping every source to its target, or None."""
+        if all(not target for _, target in rows):
+            return []
+        if depth <= 0 or time.perf_counter() > self._deadline:
+            return None
+
+        candidates = self._candidate_units(rows)
+        for unit, spans in candidates:
+            left_rows: list[tuple[str, str]] = []
+            right_rows: list[tuple[str, str]] = []
+            for (source, target), (start, end) in zip(rows, spans):
+                left_rows.append((source, target[:start]))
+                right_rows.append((source, target[end:]))
+            left_units = self._find_transformation(left_rows, depth - 1)
+            if left_units is None:
+                continue
+            right_units = self._find_transformation(right_rows, depth - 1)
+            if right_units is None:
+                continue
+            return left_units + [unit] + right_units
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Blind unit enumeration (this is what makes Auto-Join slow)
+    # ------------------------------------------------------------------ #
+    def _candidate_units(
+        self, rows: list[tuple[str, str]]
+    ) -> list[tuple[TransformationUnit, list[tuple[int, int]]]]:
+        """Units whose output is a block of every row's target, best first.
+
+        Returns (unit, spans) pairs where ``spans[i]`` is the (start, end)
+        block the unit's output occupies in row *i*'s target.  Candidates are
+        sorted by the average length of target text covered, as in the
+        original algorithm.
+        """
+        config = self._config
+        max_len = min(
+            config.max_source_length,
+            max((len(source) for source, _ in rows), default=0),
+        )
+        units: list[TransformationUnit] = []
+
+        for start in range(max_len):
+            for end in range(start + 1, max_len + 1):
+                units.append(Substr(start, end))
+
+        delimiters = sorted({c for source, _ in rows for c in source})
+        max_pieces = (
+            max(
+                (source.count(c) + 1 for source, _ in rows for c in delimiters),
+                default=1,
+            )
+            if delimiters
+            else 1
+        )
+        for delimiter in delimiters:
+            for index in range(1, max_pieces + 1):
+                units.append(Split(delimiter, index))
+
+        if config.include_split_substr:
+            piece_cap = min(max_len, 20)
+            for delimiter in delimiters:
+                for index in range(1, max_pieces + 1):
+                    for start in range(piece_cap):
+                        for end in range(start + 1, piece_cap + 1):
+                            units.append(SplitSubstr(delimiter, index, start, end))
+
+        # Literal over the longest common remaining target prefix/suffix text:
+        # when every remaining target is identical, that constant is a valid
+        # candidate unit.
+        targets = {target for _, target in rows if target}
+        if len(targets) == 1:
+            units.append(Literal(next(iter(targets))))
+
+        scored: list[tuple[float, TransformationUnit, list[tuple[int, int]]]] = []
+        for unit in units:
+            self._units_enumerated += 1
+            if self._units_enumerated % 4096 == 0 and time.perf_counter() > self._deadline:
+                break
+            spans: list[tuple[int, int]] = []
+            total = 0
+            applicable = True
+            for source, target in rows:
+                if not target:
+                    applicable = False
+                    break
+                output = unit.apply(source)
+                if not output:
+                    applicable = False
+                    break
+                position = target.find(output)
+                if position == -1:
+                    applicable = False
+                    break
+                spans.append((position, position + len(output)))
+                total += len(output)
+            if applicable:
+                scored.append((total / len(rows), unit, spans))
+        scored.sort(key=lambda item: (-item[0], repr(item[1])))
+        return [(unit, spans) for _, unit, spans in scored]

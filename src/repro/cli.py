@@ -1,0 +1,215 @@
+"""Command-line interface.
+
+The CLI exposes the three main workflows over CSV files so the system can be
+used without writing Python:
+
+``python -m repro discover``
+    Learn transformations from two CSV columns (optionally with a golden
+    matching) and print the covering set.
+
+``python -m repro join``
+    Run the end-to-end pipeline (row matching + discovery + transformation
+    join) on two CSV files and write the joined table.
+
+``python -m repro benchmark``
+    Generate one of the built-in benchmark datasets to a directory as CSV
+    files, so external tools can consume the same workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.config import DiscoveryConfig
+from repro.core.discovery import TransformationDiscovery
+from repro.datasets.registry import available_datasets, load_dataset
+from repro.evaluation.report import format_table
+from repro.join.pipeline import JoinPipeline
+from repro.matching.row_matcher import MatchingConfig, NGramRowMatcher
+from repro.table.io import read_csv, write_csv
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Learn string transformations that make differently formatted "
+            "table columns equi-joinable (reproduction of Dargahi Nobari & "
+            "Rafiei, ICDE 2022)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    discover = subparsers.add_parser(
+        "discover", help="learn transformations between two CSV columns"
+    )
+    _add_pair_arguments(discover)
+    discover.add_argument(
+        "--top-k", type=int, default=5, help="how many top transformations to print"
+    )
+
+    join = subparsers.add_parser(
+        "join", help="run the end-to-end transformation join on two CSV files"
+    )
+    _add_pair_arguments(join)
+    join.add_argument(
+        "--output", type=Path, required=True, help="path of the joined CSV to write"
+    )
+    join.add_argument(
+        "--min-support",
+        type=float,
+        default=0.05,
+        help="minimum coverage fraction for a transformation to be applied",
+    )
+
+    benchmark = subparsers.add_parser(
+        "benchmark", help="materialize a built-in benchmark dataset as CSV files"
+    )
+    benchmark.add_argument(
+        "name", choices=available_datasets(), help="benchmark dataset to generate"
+    )
+    benchmark.add_argument(
+        "--output-dir", type=Path, required=True, help="directory to write CSVs into"
+    )
+    benchmark.add_argument(
+        "--scale", type=float, default=1.0, help="dataset scale (1.0 = paper scale)"
+    )
+    benchmark.add_argument("--seed", type=int, default=0, help="generator seed")
+    return parser
+
+
+def _add_pair_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("source_csv", type=Path, help="source table (CSV with header)")
+    parser.add_argument("target_csv", type=Path, help="target table (CSV with header)")
+    parser.add_argument(
+        "--source-column", required=True, help="join column in the source table"
+    )
+    parser.add_argument(
+        "--target-column", required=True, help="join column in the target table"
+    )
+    parser.add_argument(
+        "--max-placeholders",
+        type=int,
+        default=3,
+        help="maximum number of placeholders per transformation",
+    )
+    parser.add_argument(
+        "--sample-size",
+        type=int,
+        default=0,
+        help="sample size for candidate generation (0 = use all candidate pairs)",
+    )
+    parser.add_argument(
+        "--min-ngram", type=int, default=4, help="smallest n-gram used by the matcher"
+    )
+    parser.add_argument(
+        "--max-ngram", type=int, default=20, help="largest n-gram used by the matcher"
+    )
+
+
+def _discovery_config(args: argparse.Namespace) -> DiscoveryConfig:
+    return DiscoveryConfig(
+        max_placeholders=args.max_placeholders,
+        sample_size=args.sample_size,
+    )
+
+
+def _matcher(args: argparse.Namespace) -> NGramRowMatcher:
+    return NGramRowMatcher(
+        MatchingConfig(min_ngram=args.min_ngram, max_ngram=args.max_ngram)
+    )
+
+
+def run_discover(args: argparse.Namespace) -> int:
+    """The ``discover`` sub-command."""
+    source = read_csv(args.source_csv)
+    target = read_csv(args.target_csv)
+    matcher = _matcher(args)
+    candidates = matcher.match(
+        source,
+        target,
+        source_column=args.source_column,
+        target_column=args.target_column,
+    )
+    engine = TransformationDiscovery(_discovery_config(args).replace(top_k=args.top_k))
+    result = engine.discover(candidates)
+
+    print(f"candidate row pairs: {len(candidates)}")
+    print(f"coverage of best transformation: {result.top_coverage:.3f}")
+    print(f"coverage of covering set:        {result.cover_coverage:.3f}")
+    print()
+    print("top transformations:")
+    for coverage in result.top:
+        print(f"  covers {coverage.coverage:5d}: {coverage.transformation}")
+    print()
+    print("covering set:")
+    for coverage in result.cover:
+        print(f"  covers {coverage.coverage:5d}: {coverage.transformation}")
+    return 0
+
+
+def run_join(args: argparse.Namespace) -> int:
+    """The ``join`` sub-command."""
+    source = read_csv(args.source_csv)
+    target = read_csv(args.target_csv)
+    pipeline = JoinPipeline(
+        matcher=_matcher(args),
+        discovery_config=_discovery_config(args),
+        min_support=args.min_support,
+        materialize=True,
+    )
+    outcome = pipeline.run(
+        source,
+        target,
+        source_column=args.source_column,
+        target_column=args.target_column,
+    )
+    joined = outcome.joined_table
+    assert joined is not None
+    write_csv(joined, args.output)
+    print(f"candidate row pairs: {outcome.candidate_pairs}")
+    print(f"transformations applied: {len(outcome.discovery.cover)}")
+    for coverage in outcome.discovery.cover:
+        print(f"  covers {coverage.coverage:5d}: {coverage.transformation}")
+    print(f"joined rows: {outcome.join.num_pairs}")
+    print(f"wrote {args.output}")
+    return 0
+
+
+def run_benchmark(args: argparse.Namespace) -> int:
+    """The ``benchmark`` sub-command."""
+    dataset = load_dataset(args.name, scale=args.scale, seed=args.seed)
+    output_dir = args.output_dir
+    rows = []
+    for pair in dataset:
+        pair.save(output_dir)
+        rows.append(
+            {
+                "pair": pair.name,
+                "source_rows": pair.num_source_rows,
+                "target_rows": pair.num_target_rows,
+                "golden_pairs": len(pair.golden_pairs),
+            }
+        )
+    print(format_table(rows, title=f"dataset {args.name} (scale={args.scale})"))
+    print(f"wrote {3 * len(dataset)} CSV files to {output_dir}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "discover": run_discover,
+        "join": run_join,
+        "benchmark": run_benchmark,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

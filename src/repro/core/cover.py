@@ -1,0 +1,105 @@
+"""Selecting the final transformation set (Section 4.1.6).
+
+Two problem variants:
+
+* **Maximum coverage** — report the single transformation (or top-k) covering
+  the most input rows.
+* **Minimal cover** — find a small set of transformations that together cover
+  every coverable row.  Exact minimal cover is the NP-complete set-cover
+  problem; the paper (and this module) uses the classic greedy algorithm with
+  its ``H(n) <= ln(n) + 1`` approximation guarantee.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.coverage import CoverageResult
+
+
+def top_k_by_coverage(
+    results: Sequence[CoverageResult], k: int = 1
+) -> list[CoverageResult]:
+    """Return the *k* transformations with the largest coverage.
+
+    Ties are broken in favour of shorter transformations (fewer placeholders,
+    then fewer units overall) so the reported transformation is the most
+    readable among equally-covering ones, per the paper's length criterion.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    ranked = sorted(
+        results,
+        key=lambda r: (
+            -r.coverage,
+            r.transformation.num_placeholders,
+            len(r.transformation),
+            repr(r.transformation),
+        ),
+    )
+    return list(ranked[:k])
+
+
+def greedy_minimal_cover(
+    results: Sequence[CoverageResult],
+    *,
+    min_support: int = 1,
+    max_transformations: int | None = None,
+) -> list[CoverageResult]:
+    """Greedy set cover over the transformations' covered-row sets.
+
+    At each step the transformation covering the most *not yet covered* rows
+    is selected; transformations whose marginal gain falls below *min_support*
+    are never selected (this implements the support threshold used for noisy
+    data such as the open-data benchmark).
+
+    Returns the selected transformations in selection order.
+    """
+    if min_support < 1:
+        raise ValueError(f"min_support must be >= 1, got {min_support}")
+
+    remaining = list(results)
+    covered: set[int] = set()
+    selected: list[CoverageResult] = []
+
+    while remaining:
+        if max_transformations is not None and len(selected) >= max_transformations:
+            break
+        best_index = -1
+        best_gain = 0
+        best_key: tuple = ()
+        for index, result in enumerate(remaining):
+            gain = len(result.covered_rows - covered)
+            if gain < min_support:
+                continue
+            key = (
+                -gain,
+                result.transformation.num_placeholders,
+                len(result.transformation),
+                repr(result.transformation),
+            )
+            if best_index == -1 or key < best_key:
+                best_index = index
+                best_gain = gain
+                best_key = key
+        if best_index == -1 or best_gain == 0:
+            break
+        choice = remaining.pop(best_index)
+        covered |= choice.covered_rows
+        selected.append(choice)
+    return selected
+
+
+def covered_rows(results: Sequence[CoverageResult]) -> frozenset[int]:
+    """Union of the covered-row sets of *results*."""
+    union: set[int] = set()
+    for result in results:
+        union |= result.covered_rows
+    return frozenset(union)
+
+
+def cover_fraction(results: Sequence[CoverageResult], num_pairs: int) -> float:
+    """Fraction of the input covered by the union of *results*."""
+    if num_pairs == 0:
+        return 0.0
+    return len(covered_rows(results)) / num_pairs

@@ -1,0 +1,240 @@
+"""The end-to-end transformation-discovery engine (Section 4.1).
+
+:class:`TransformationDiscovery` chains the pipeline stages —
+
+1. (optional) sampling of the input pairs,
+2. placeholder and skeleton construction per row,
+3. candidate-unit extraction and transformation generation (with duplicate
+   removal),
+4. coverage computation over all input pairs (with the non-covering-unit
+   cache),
+5. maximum-coverage / greedy-minimal-cover selection —
+
+and reports both the discovered transformations and the statistics (Table 4,
+Figures 3–4) of the run.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.core.config import DiscoveryConfig
+from repro.core.cover import (
+    cover_fraction,
+    covered_rows,
+    greedy_minimal_cover,
+    top_k_by_coverage,
+)
+from repro.core.coverage import CoverageComputer, CoverageResult
+from repro.core.generation import TransformationGenerator
+from repro.core.pairs import RowPair, pairs_from_strings
+from repro.core.skeletons import SkeletonBuilder
+from repro.core.stats import DiscoveryStats
+from repro.core.transformation import Transformation
+from repro.utils.timing import StageTimer
+
+
+@dataclass
+class DiscoveryResult:
+    """Everything a discovery run produced.
+
+    Attributes
+    ----------
+    pairs:
+        The full input pairs coverage is reported against (the pre-sampling
+        input, so coverage fractions are comparable across configurations).
+    top:
+        The top-k transformations by individual coverage, best first.
+    cover:
+        The greedy minimal covering set, in selection order.
+    stats:
+        Counters and per-stage timings of the run.
+    """
+
+    pairs: list[RowPair]
+    top: list[CoverageResult] = field(default_factory=list)
+    cover: list[CoverageResult] = field(default_factory=list)
+    stats: DiscoveryStats = field(default_factory=DiscoveryStats)
+
+    @property
+    def best(self) -> CoverageResult | None:
+        """The single highest-coverage transformation (None when nothing found)."""
+        return self.top[0] if self.top else None
+
+    @property
+    def top_coverage(self) -> float:
+        """Coverage fraction of the best single transformation ("Top Cov.")."""
+        if not self.top or not self.pairs:
+            return 0.0
+        return self.top[0].coverage_fraction(len(self.pairs))
+
+    @property
+    def cover_coverage(self) -> float:
+        """Coverage fraction of the covering set ("Coverage")."""
+        return cover_fraction(self.cover, len(self.pairs))
+
+    @property
+    def num_transformations(self) -> int:
+        """Size of the covering set ("#Trans.")."""
+        return len(self.cover)
+
+    @property
+    def transformations(self) -> list[Transformation]:
+        """The transformations of the covering set, in selection order."""
+        return [result.transformation for result in self.cover]
+
+    def uncovered_rows(self) -> frozenset[int]:
+        """Indices of input pairs not covered by the covering set."""
+        all_rows = frozenset(range(len(self.pairs)))
+        return all_rows - covered_rows(self.cover)
+
+    def summary(self) -> dict[str, float]:
+        """Key figures of the run as a flat dict (used by benchmarks)."""
+        return {
+            "num_pairs": len(self.pairs),
+            "top_coverage": self.top_coverage,
+            "cover_coverage": self.cover_coverage,
+            "num_transformations": self.num_transformations,
+            "total_seconds": self.stats.total_seconds,
+            "generated_transformations": self.stats.generated_transformations,
+            "unique_transformations": self.stats.unique_transformations,
+            "duplicate_ratio": self.stats.duplicate_ratio,
+            "cache_hit_ratio": self.stats.cache_hit_ratio,
+        }
+
+
+class TransformationDiscovery:
+    """Discover transformations that make (source, target) pairs equi-joinable.
+
+    Example
+    -------
+    >>> from repro.core import TransformationDiscovery
+    >>> engine = TransformationDiscovery()
+    >>> result = engine.discover_from_strings([
+    ...     ("Rafiei, Davood", "D Rafiei"),
+    ...     ("Bowling, Michael", "M Bowling"),
+    ... ])
+    >>> result.best.transformation.apply("Nascimento, Mario")
+    'M Nascimento'
+    """
+
+    def __init__(self, config: DiscoveryConfig | None = None) -> None:
+        self._config = config or DiscoveryConfig()
+        self._skeleton_builder = SkeletonBuilder(self._config)
+        self._generator = TransformationGenerator(self._config)
+
+    @property
+    def config(self) -> DiscoveryConfig:
+        """The configuration the engine was built with."""
+        return self._config
+
+    # ------------------------------------------------------------------ #
+    # Public entry points
+    # ------------------------------------------------------------------ #
+    def discover_from_strings(
+        self, pairs: Sequence[tuple[str, str]]
+    ) -> DiscoveryResult:
+        """Convenience wrapper: discover from plain (source, target) tuples."""
+        return self.discover(pairs_from_strings(pairs))
+
+    def discover(self, pairs: Sequence[RowPair]) -> DiscoveryResult:
+        """Run the full discovery pipeline on *pairs*."""
+        pairs = list(pairs)
+        if self._config.case_insensitive:
+            pairs = [
+                RowPair(
+                    source=pair.source.lower(),
+                    target=pair.target.lower(),
+                    source_row=pair.source_row,
+                    target_row=pair.target_row,
+                )
+                for pair in pairs
+            ]
+        if not pairs:
+            return DiscoveryResult(pairs=[])
+
+        timer = StageTimer()
+        stats = DiscoveryStats(num_pairs=len(pairs))
+
+        generation_pairs = self._sample(pairs)
+
+        transformations = self._generate(generation_pairs, stats, timer)
+
+        computer = CoverageComputer(
+            pairs, use_unit_cache=self._config.use_unit_cache, stats=stats
+        )
+        with timer.stage("applying_transformations"):
+            results = computer.coverage_of_all(transformations)
+
+        with timer.stage("cover_selection"):
+            results = [r for r in results if r.coverage > 0]
+            top = top_k_by_coverage(results, self._config.top_k) if results else []
+            cover = greedy_minimal_cover(
+                results, min_support=self._config.min_support
+            )
+
+        stats.stage_seconds = timer.as_dict()
+        return DiscoveryResult(pairs=pairs, top=top, cover=cover, stats=stats)
+
+    # ------------------------------------------------------------------ #
+    # Pipeline stages
+    # ------------------------------------------------------------------ #
+    def _sample(self, pairs: list[RowPair]) -> list[RowPair]:
+        """Sample the generation input when the configuration asks for it.
+
+        Coverage is always computed over the full input; only the generation
+        of candidate transformations is restricted to the sample
+        (Section 5.3: a small sample is enough to discover any transformation
+        with non-trivial coverage).
+        """
+        sample_size = self._config.sample_size
+        if sample_size <= 0 or len(pairs) <= sample_size:
+            return pairs
+        rng = random.Random(self._config.sample_seed)
+        return rng.sample(pairs, sample_size)
+
+    def _generate(
+        self,
+        pairs: Sequence[RowPair],
+        stats: DiscoveryStats,
+        timer: StageTimer,
+    ) -> list[Transformation]:
+        """Generate the candidate transformations of every pair, deduplicated."""
+        unique: dict[Transformation, None] = {}
+        generated = 0
+        dedup = self._config.use_duplicate_removal
+        duplicates_kept: list[Transformation] = []
+
+        for pair in pairs:
+            with timer.stage("placeholder_generation"):
+                skeletons = self._skeleton_builder.build(pair.source, pair.target)
+            stats.num_skeletons += len(skeletons)
+            with timer.stage("unit_extraction"):
+                row_transformations = list(
+                    self._generator.from_row(pair.source, skeletons)
+                )
+            with timer.stage("duplicate_removal"):
+                for transformation in row_transformations:
+                    generated += 1
+                    if dedup:
+                        unique.setdefault(transformation, None)
+                    else:
+                        duplicates_kept.append(transformation)
+
+        stats.generated_transformations = generated
+        if dedup:
+            stats.unique_transformations = len(unique)
+            return list(unique)
+        stats.unique_transformations = len(duplicates_kept)
+        return duplicates_kept
+
+
+def discover_transformations(
+    pairs: Sequence[tuple[str, str]],
+    *,
+    config: DiscoveryConfig | None = None,
+) -> DiscoveryResult:
+    """Functional one-shot API: discover transformations for string pairs."""
+    return TransformationDiscovery(config).discover_from_strings(pairs)

@@ -1,0 +1,68 @@
+"""Expanding skeletons into candidate transformations (Section 4.1.4).
+
+Every placeholder of a skeleton is replaced by its candidate units, every
+literal gap by a ``Literal`` unit, and the Cartesian product of the candidate
+sets yields the skeleton's transformations.  The product is enumerated lazily
+and capped so a pathological row cannot blow up memory.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from itertools import product
+
+from repro.core.config import DiscoveryConfig
+from repro.core.skeletons import Skeleton
+from repro.core.transformation import Transformation
+from repro.core.unit_generation import UnitGenerator
+from repro.core.units import Literal, TransformationUnit
+
+#: Safety cap on the number of transformations generated from one skeleton.
+#: In practice the per-placeholder candidate sets are tiny (a handful of
+#: units), so this cap is only reached for adversarial inputs.
+MAX_TRANSFORMATIONS_PER_SKELETON = 50_000
+
+
+class TransformationGenerator:
+    """Generate candidate transformations from a row's skeletons."""
+
+    def __init__(self, config: DiscoveryConfig | None = None) -> None:
+        self._config = config or DiscoveryConfig()
+        self._unit_generator = UnitGenerator(self._config)
+
+    def from_skeleton(self, source: str, skeleton: Skeleton) -> Iterator[Transformation]:
+        """Yield every transformation obtainable from *skeleton*.
+
+        The per-piece candidate sets are:
+
+        * for a literal gap: the single ``Literal`` unit,
+        * for a placeholder: every unit produced by
+          :class:`~repro.core.unit_generation.UnitGenerator`.
+
+        The Cartesian product of these sets is yielded lazily; generation
+        stops after :data:`MAX_TRANSFORMATIONS_PER_SKELETON` results.
+        """
+        candidate_sets: list[list[TransformationUnit]] = []
+        for piece in skeleton.pieces:
+            if piece.is_placeholder:
+                assert piece.placeholder is not None
+                candidates = self._unit_generator.candidates(source, piece.placeholder)
+                if not candidates:
+                    candidates = [Literal(piece.text)]
+                candidate_sets.append(candidates)
+            else:
+                candidate_sets.append([Literal(piece.text)])
+
+        emitted = 0
+        for combination in product(*candidate_sets):
+            yield Transformation(combination).simplified()
+            emitted += 1
+            if emitted >= MAX_TRANSFORMATIONS_PER_SKELETON:
+                break
+
+    def from_row(
+        self, source: str, skeletons: list[Skeleton]
+    ) -> Iterator[Transformation]:
+        """Yield the transformations of every skeleton of a row, in order."""
+        for skeleton in skeletons:
+            yield from self.from_skeleton(source, skeleton)

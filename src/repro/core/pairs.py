@@ -1,0 +1,56 @@
+"""Row pairs: the input of the transformation-discovery algorithm.
+
+A :class:`RowPair` is one (source, target) example — either provided as a
+golden matching or produced by the row matcher of :mod:`repro.matching`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class RowPair:
+    """A candidate joinable (source, target) cell pair.
+
+    ``source_row`` / ``target_row`` are the originating row indices when the
+    pair was produced from two tables (``-1`` when unknown), so end-to-end
+    evaluation can compare discovered joins against ground truth.
+    """
+
+    source: str
+    target: str
+    source_row: int = -1
+    target_row: int = -1
+
+    def reversed(self) -> "RowPair":
+        """Swap source and target (used when re-orienting the join direction)."""
+        return RowPair(
+            source=self.target,
+            target=self.source,
+            source_row=self.target_row,
+            target_row=self.source_row,
+        )
+
+
+def pairs_from_strings(pairs: Iterable[tuple[str, str]]) -> list[RowPair]:
+    """Build :class:`RowPair` objects from plain (source, target) tuples."""
+    return [
+        RowPair(source=source, target=target, source_row=index, target_row=index)
+        for index, (source, target) in enumerate(pairs)
+    ]
+
+
+def average_source_length(pairs: Sequence[RowPair]) -> float:
+    """Average length of the source strings (0.0 for an empty input)."""
+    if not pairs:
+        return 0.0
+    return sum(len(pair.source) for pair in pairs) / len(pairs)
+
+
+def average_target_length(pairs: Sequence[RowPair]) -> float:
+    """Average length of the target strings (0.0 for an empty input)."""
+    if not pairs:
+        return 0.0
+    return sum(len(pair.target) for pair in pairs) / len(pairs)

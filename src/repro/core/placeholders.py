@@ -1,0 +1,213 @@
+"""Placeholder detection (Definition 4 and Section 4.1.3 of the paper).
+
+A *placeholder* is a contiguous block of the target text that can be produced
+by a non-constant transformation unit applied to the source.  For copy-based
+units this means every substring of the target that is also a substring of
+the source.  Maximal-length placeholders — blocks that cannot be extended on
+either side while remaining a substring of the source — form the backbone of
+the transformations: they minimize transformation length and drastically
+shrink the search space.
+
+The extractor produces, for every (source, target) pair:
+
+* the maximal-length segmentation of the target into placeholders and
+  literal gaps, and
+* optionally a separator-split refinement of every maximal placeholder, which
+  recovers the coverage lost when a common separator falls inside a maximal
+  placeholder (Lemma 4, case 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.text import is_separator
+
+
+@dataclass(frozen=True, slots=True)
+class Placeholder:
+    """A block of target text matched in the source.
+
+    Attributes
+    ----------
+    text:
+        The placeholder text (a substring of both target and source).
+    target_start / target_end:
+        The position of the block in the target (0-based, end exclusive).
+    source_matches:
+        Start positions of occurrences of ``text`` in the source (possibly
+        truncated to a configured cap).
+    """
+
+    text: str
+    target_start: int
+    target_end: int
+    source_matches: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.text:
+            raise ValueError("placeholder text must not be empty")
+        if self.target_end - self.target_start != len(self.text):
+            raise ValueError(
+                "placeholder span does not match its text length: "
+                f"[{self.target_start}, {self.target_end}) vs {len(self.text)}"
+            )
+
+    @property
+    def length(self) -> int:
+        """Length of the placeholder text."""
+        return len(self.text)
+
+
+def find_occurrences(haystack: str, needle: str, *, limit: int = 0) -> tuple[int, ...]:
+    """Return the start positions of (possibly overlapping) occurrences.
+
+    ``limit`` > 0 caps the number of positions returned.
+    """
+    positions: list[int] = []
+    start = 0
+    while True:
+        index = haystack.find(needle, start)
+        if index == -1:
+            break
+        positions.append(index)
+        if limit and len(positions) >= limit:
+            break
+        start = index + 1
+    return tuple(positions)
+
+
+class PlaceholderExtractor:
+    """Extract maximal-length placeholders from (source, target) pairs."""
+
+    def __init__(
+        self,
+        *,
+        min_length: int = 1,
+        max_matches: int = 3,
+        split_on_separators: bool = True,
+    ) -> None:
+        if min_length < 1:
+            raise ValueError(f"min_length must be >= 1, got {min_length}")
+        if max_matches < 1:
+            raise ValueError(f"max_matches must be >= 1, got {max_matches}")
+        self._min_length = min_length
+        self._max_matches = max_matches
+        self._split_on_separators = split_on_separators
+
+    # ------------------------------------------------------------------ #
+    # Maximal segmentation
+    # ------------------------------------------------------------------ #
+    def maximal_placeholders(self, source: str, target: str) -> list[Placeholder]:
+        """Greedy left-to-right maximal segmentation of *target*.
+
+        At every target position we take the longest block starting there that
+        occurs in *source* (if it is at least ``min_length`` long) and continue
+        after it.  The resulting placeholders are maximal in the sense that no
+        block can be extended to the right and, because the scan restarts right
+        after each accepted block, they tile the target without overlaps.
+        """
+        placeholders: list[Placeholder] = []
+        position = 0
+        target_length = len(target)
+        while position < target_length:
+            match_length = self._longest_match_at(source, target, position)
+            if match_length >= self._min_length:
+                text = target[position : position + match_length]
+                placeholders.append(
+                    Placeholder(
+                        text=text,
+                        target_start=position,
+                        target_end=position + match_length,
+                        source_matches=find_occurrences(
+                            source, text, limit=self._max_matches
+                        ),
+                    )
+                )
+                position += match_length
+            else:
+                position += 1
+        return placeholders
+
+    def _longest_match_at(self, source: str, target: str, position: int) -> int:
+        """Length of the longest prefix of ``target[position:]`` found in *source*."""
+        low = 0
+        high = len(target) - position
+        # The candidate lengths with a match form a prefix of [1, high]
+        # (every prefix of a matching block also matches), so binary search.
+        while low < high:
+            mid = (low + high + 1) // 2
+            if target[position : position + mid] in source:
+                low = mid
+            else:
+                high = mid - 1
+        return low
+
+    # ------------------------------------------------------------------ #
+    # Separator-based refinement (Lemma 4, case 1)
+    # ------------------------------------------------------------------ #
+    def split_placeholder(self, placeholder: Placeholder, source: str) -> list[Placeholder]:
+        """Split a maximal placeholder on common separators.
+
+        Returns the sub-placeholders (separator characters become literal gaps
+        between them).  Returns a single-element list containing the original
+        placeholder when there is nothing to split.
+        """
+        text = placeholder.text
+        pieces: list[Placeholder] = []
+        token_start: int | None = None
+        for offset, char in enumerate(text):
+            if is_separator(char):
+                if token_start is not None:
+                    pieces.append(
+                        self._sub_placeholder(placeholder, source, token_start, offset)
+                    )
+                    token_start = None
+            elif token_start is None:
+                token_start = offset
+        if token_start is not None:
+            pieces.append(
+                self._sub_placeholder(placeholder, source, token_start, len(text))
+            )
+        if len(pieces) <= 1 and (not pieces or pieces[0].text == text):
+            return [placeholder]
+        return [piece for piece in pieces if piece.length >= 1]
+
+    def _sub_placeholder(
+        self,
+        parent: Placeholder,
+        source: str,
+        start_offset: int,
+        end_offset: int,
+    ) -> Placeholder:
+        text = parent.text[start_offset:end_offset]
+        return Placeholder(
+            text=text,
+            target_start=parent.target_start + start_offset,
+            target_end=parent.target_start + end_offset,
+            source_matches=find_occurrences(source, text, limit=self._max_matches),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Combined view
+    # ------------------------------------------------------------------ #
+    def extract(self, source: str, target: str) -> dict[str, list[Placeholder]]:
+        """Extract both the maximal and the separator-split placeholder sets.
+
+        Returns a dict with keys ``"maximal"`` and ``"split"``; the ``"split"``
+        entry is only present when separator splitting is enabled and produced
+        a different segmentation.
+        """
+        maximal = self.maximal_placeholders(source, target)
+        result: dict[str, list[Placeholder]] = {"maximal": maximal}
+        if self._split_on_separators:
+            split: list[Placeholder] = []
+            changed = False
+            for placeholder in maximal:
+                pieces = self.split_placeholder(placeholder, source)
+                if len(pieces) != 1 or pieces[0] != placeholder:
+                    changed = True
+                split.extend(pieces)
+            if changed:
+                result["split"] = split
+        return result

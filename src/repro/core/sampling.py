@@ -1,0 +1,99 @@
+"""Sampling analysis (Section 5.3 of the paper).
+
+Discovery scales to large inputs by generating candidates from a random
+sample.  The paper analyses the probability that a transformation with
+coverage fraction *q* is discovered from a sample of size *s*:
+
+* our approach needs **at least two** covered rows in the sample (a single
+  covered row only supports a literal-like transformation), so
+  ``P(discovered) = 1 - P0 - P1`` with ``P0 = (1-q)^s`` and
+  ``P1 = s * q * (1-q)^(s-1)``;
+* Auto-Join needs **every** row of a subset to be covered, so a subset of
+  size *s* is useful with probability ``q^s`` and the expected number of
+  useful subsets among *k* subsets is ``k * q^s``.
+
+These closed forms are used by ``benchmarks/bench_sampling_analysis.py`` and
+validated empirically in the tests.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def probability_not_covered(coverage: float, sample_size: int) -> float:
+    """P0: probability that no row of the sample is covered."""
+    _validate(coverage, sample_size)
+    return (1.0 - coverage) ** sample_size
+
+
+def probability_covered_once(coverage: float, sample_size: int) -> float:
+    """P1: probability that exactly one row of the sample is covered."""
+    _validate(coverage, sample_size)
+    if sample_size == 0:
+        return 0.0
+    return sample_size * coverage * (1.0 - coverage) ** (sample_size - 1)
+
+
+def probability_discovered(coverage: float, sample_size: int) -> float:
+    """Probability that at least two sampled rows are covered (our approach).
+
+    This is the probability that the transformation is discoverable from the
+    sample: ``1 - P0 - P1``.
+    """
+    _validate(coverage, sample_size)
+    return max(
+        0.0,
+        1.0
+        - probability_not_covered(coverage, sample_size)
+        - probability_covered_once(coverage, sample_size),
+    )
+
+
+def autojoin_subset_success_probability(coverage: float, subset_size: int) -> float:
+    """Probability that every row of an Auto-Join subset is covered: ``q^s``."""
+    _validate(coverage, subset_size)
+    return coverage**subset_size
+
+
+def autojoin_expected_covered_subsets(
+    coverage: float, subset_size: int, num_subsets: int
+) -> float:
+    """Expected number of Auto-Join subsets fully covered: ``k * q^s``."""
+    if num_subsets < 0:
+        raise ValueError(f"num_subsets must be >= 0, got {num_subsets}")
+    return num_subsets * autojoin_subset_success_probability(coverage, subset_size)
+
+
+def required_subsets_for_autojoin(coverage: float, subset_size: int) -> int:
+    """Subsets Auto-Join needs for an expectation of one covered subset.
+
+    ``ceil(1 / q^s)``; for example with q=0.5 and s=5 this is 32, and with
+    q=0.05 and s=2 it is 400, matching the paper's examples.
+    """
+    probability = autojoin_subset_success_probability(coverage, subset_size)
+    if probability <= 0.0:
+        raise ValueError("coverage must be positive to cover any subset")
+    return math.ceil(1.0 / probability)
+
+
+def minimum_sample_size(coverage: float, confidence: float) -> int:
+    """Smallest sample size whose discovery probability reaches *confidence*."""
+    _validate(coverage, 1)
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if coverage == 0.0:
+        raise ValueError("a transformation with zero coverage is never discovered")
+    size = 2
+    while probability_discovered(coverage, size) < confidence:
+        size += 1
+        if size > 10_000_000:  # pragma: no cover - guard against bad inputs
+            raise RuntimeError("sample size search did not converge")
+    return size
+
+
+def _validate(coverage: float, sample_size: int) -> None:
+    if not 0.0 <= coverage <= 1.0:
+        raise ValueError(f"coverage must be in [0, 1], got {coverage}")
+    if sample_size < 0:
+        raise ValueError(f"sample_size must be >= 0, got {sample_size}")

@@ -1,0 +1,114 @@
+"""Statistics collected by the discovery pipeline.
+
+Table 4 and Figure 3 of the paper report the effectiveness of the two pruning
+strategies (duplicate removal and the non-covering-unit cache); Figure 4
+reports the per-module runtime breakdown.  :class:`DiscoveryStats` gathers
+everything those experiments need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DiscoveryStats:
+    """Counters and timings describing one discovery run.
+
+    Attributes
+    ----------
+    num_pairs:
+        Number of (source, target) row pairs the run operated on (after
+        sampling, if sampling was enabled).
+    num_skeletons:
+        Total number of skeletons built across all rows.
+    generated_transformations:
+        Number of candidate transformations generated (before duplicate
+        removal) — the paper's "Generated trans." column.
+    unique_transformations:
+        Number of distinct transformations kept — the paper's "Trans. to try".
+    cache_hits / cache_misses:
+        Outcomes of the non-covering-unit cache when applying transformations
+        to rows: a hit means a (transformation, row) application was skipped
+        because one of its units was already known not to cover the row.
+    applications:
+        Number of full transformation applications actually executed.
+    stage_seconds:
+        Wall-clock seconds per pipeline stage (placeholder generation, unit
+        extraction, duplicate removal, applying transformations, cover
+        selection), for the Figure 4 breakdown.
+    """
+
+    num_pairs: int = 0
+    num_skeletons: int = 0
+    generated_transformations: int = 0
+    unique_transformations: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    applications: int = 0
+    stage_seconds: dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Derived ratios reported in Table 4 / Figure 3
+    # ------------------------------------------------------------------ #
+    @property
+    def duplicate_transformations(self) -> int:
+        """Number of generated transformations discarded as duplicates."""
+        return max(0, self.generated_transformations - self.unique_transformations)
+
+    @property
+    def duplicate_ratio(self) -> float:
+        """Fraction of generated transformations that were duplicates."""
+        if self.generated_transformations == 0:
+            return 0.0
+        return self.duplicate_transformations / self.generated_transformations
+
+    @property
+    def cache_hit_ratio(self) -> float:
+        """Fraction of (transformation, row) applications skipped by the cache."""
+        attempts = self.cache_hits + self.cache_misses
+        if attempts == 0:
+            return 0.0
+        return self.cache_hits / attempts
+
+    @property
+    def total_seconds(self) -> float:
+        """Total recorded wall-clock time across stages."""
+        return sum(self.stage_seconds.values())
+
+    def merge(self, other: "DiscoveryStats") -> "DiscoveryStats":
+        """Combine counters from two runs (used when averaging over tables)."""
+        merged_stages = dict(self.stage_seconds)
+        for stage, seconds in other.stage_seconds.items():
+            merged_stages[stage] = merged_stages.get(stage, 0.0) + seconds
+        return DiscoveryStats(
+            num_pairs=self.num_pairs + other.num_pairs,
+            num_skeletons=self.num_skeletons + other.num_skeletons,
+            generated_transformations=(
+                self.generated_transformations + other.generated_transformations
+            ),
+            unique_transformations=(
+                self.unique_transformations + other.unique_transformations
+            ),
+            cache_hits=self.cache_hits + other.cache_hits,
+            cache_misses=self.cache_misses + other.cache_misses,
+            applications=self.applications + other.applications,
+            stage_seconds=merged_stages,
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        """Flatten the statistics to a plain dict (for reports and tests)."""
+        return {
+            "num_pairs": self.num_pairs,
+            "num_skeletons": self.num_skeletons,
+            "generated_transformations": self.generated_transformations,
+            "unique_transformations": self.unique_transformations,
+            "duplicate_transformations": self.duplicate_transformations,
+            "duplicate_ratio": self.duplicate_ratio,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_hit_ratio": self.cache_hit_ratio,
+            "applications": self.applications,
+            "total_seconds": self.total_seconds,
+            **{f"seconds_{k}": v for k, v in self.stage_seconds.items()},
+        }

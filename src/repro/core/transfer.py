@@ -1,0 +1,154 @@
+"""Transferring transformations between datasets (Section 8, future work).
+
+The paper's conclusion suggests transfer learning: transformations learned on
+one table pair are often valid on another pair drawn from the same domain
+(e.g. two exports of the same upstream system, or this month's file versus
+last month's).  This module implements that workflow:
+
+1. re-evaluate a previously learned transformation set on the new dataset's
+   candidate pairs,
+2. keep the transformations whose coverage on the new data clears a support
+   threshold,
+3. optionally run a fresh (and therefore much cheaper) discovery on only the
+   rows the transferred set does not cover, and merge the results.
+
+Because re-evaluating a handful of known transformations is linear in the
+number of pairs, transfer is dramatically cheaper than discovery from scratch
+and works well exactly when the formatting relationship is stable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.core.config import DiscoveryConfig
+from repro.core.cover import greedy_minimal_cover, top_k_by_coverage
+from repro.core.coverage import CoverageComputer, CoverageResult
+from repro.core.discovery import DiscoveryResult, TransformationDiscovery
+from repro.core.pairs import RowPair
+from repro.core.transformation import Transformation
+
+
+@dataclass
+class TransferResult:
+    """Outcome of transferring a transformation set to a new dataset."""
+
+    pairs: list[RowPair]
+    transferred: list[CoverageResult] = field(default_factory=list)
+    discovered: list[CoverageResult] = field(default_factory=list)
+    fresh_discovery: DiscoveryResult | None = None
+
+    @property
+    def cover(self) -> list[CoverageResult]:
+        """The combined covering set (transferred first, then newly discovered)."""
+        return list(self.transferred) + list(self.discovered)
+
+    @property
+    def transformations(self) -> list[Transformation]:
+        """The transformations of the combined cover."""
+        return [result.transformation for result in self.cover]
+
+    @property
+    def cover_coverage(self) -> float:
+        """Fraction of the new dataset's pairs covered by the combined set."""
+        if not self.pairs:
+            return 0.0
+        covered: set[int] = set()
+        for result in self.cover:
+            covered |= result.covered_rows
+        return len(covered) / len(self.pairs)
+
+    @property
+    def transferred_coverage(self) -> float:
+        """Fraction covered by the transferred transformations alone."""
+        if not self.pairs:
+            return 0.0
+        covered: set[int] = set()
+        for result in self.transferred:
+            covered |= result.covered_rows
+        return len(covered) / len(self.pairs)
+
+
+class TransformationTransfer:
+    """Re-use a learned transformation set on a new dataset."""
+
+    def __init__(
+        self,
+        transformations: Sequence[Transformation],
+        *,
+        min_support: int = 2,
+        config: DiscoveryConfig | None = None,
+    ) -> None:
+        """Create a transfer engine.
+
+        Parameters
+        ----------
+        transformations:
+            The previously learned transformations to carry over.
+        min_support:
+            Minimum number of new-dataset pairs a carried-over transformation
+            must cover to be kept (2 by default: a transformation supported by
+            a single row is indistinguishable from a coincidence).
+        config:
+            Configuration for the fall-back discovery on uncovered rows.
+        """
+        if min_support < 1:
+            raise ValueError(f"min_support must be >= 1, got {min_support}")
+        self._transformations = list(transformations)
+        self._min_support = min_support
+        self._config = config or DiscoveryConfig()
+
+    def transfer(
+        self,
+        pairs: Sequence[RowPair],
+        *,
+        discover_remaining: bool = True,
+    ) -> TransferResult:
+        """Apply the carried-over set to *pairs*, optionally filling the gaps.
+
+        When ``discover_remaining`` is True, a fresh discovery runs on the
+        pairs the transferred transformations do not cover and its covering
+        set is appended to the result.
+        """
+        pairs = list(pairs)
+        if not pairs:
+            return TransferResult(pairs=[])
+
+        computer = CoverageComputer(pairs, use_unit_cache=True)
+        evaluated = [
+            computer.coverage_of(transformation)
+            for transformation in self._transformations
+        ]
+        supported = [r for r in evaluated if r.coverage >= self._min_support]
+        transferred = greedy_minimal_cover(supported, min_support=self._min_support)
+        transferred = top_k_by_coverage(transferred, max(1, len(transferred)))
+
+        covered: set[int] = set()
+        for result in transferred:
+            covered |= result.covered_rows
+        uncovered = [pair for index, pair in enumerate(pairs) if index not in covered]
+
+        discovered: list[CoverageResult] = []
+        fresh: DiscoveryResult | None = None
+        if discover_remaining and uncovered:
+            engine = TransformationDiscovery(self._config)
+            fresh = engine.discover(uncovered)
+            # Re-evaluate the newly found transformations on the full input so
+            # their covered_rows use the same row indexing as the transferred
+            # ones.
+            full_computer = CoverageComputer(pairs, use_unit_cache=True)
+            already = {result.transformation for result in transferred}
+            for coverage in fresh.cover:
+                if coverage.transformation in already:
+                    continue
+                reevaluated = full_computer.coverage_of(coverage.transformation)
+                if reevaluated.coverage >= 1:
+                    discovered.append(reevaluated)
+
+        return TransferResult(
+            pairs=pairs,
+            transferred=transferred,
+            discovered=discovered,
+            fresh_discovery=fresh,
+        )

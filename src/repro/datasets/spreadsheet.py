@@ -1,0 +1,276 @@
+"""Simulated spreadsheet benchmark (Section 6.1, "Spreadsheet dataset").
+
+The original benchmark is the SyGuS-Comp 2016 collection of FlashFill and
+BlinkFill public tasks: 108 small table pairs of common spreadsheet data
+cleaning problems (~34 rows each).  This module generates 108 pairs drawn
+from canonical FlashFill task families — name reformatting, initials, phone
+normalization, e-mail and URL extraction, file-path manipulation, date
+reformatting, identifier cleanup — with the same scale and the same
+mostly-single-transformation structure.
+
+Only copy-based (syntactic) relationships are generated, since the unit set
+of the paper (and of FlashFill's substring/split core) cannot express
+semantic mappings such as month-name-to-number.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.datasets import wordlists
+from repro.datasets.base import BenchmarkDataset, TablePair
+from repro.table.table import Table
+
+#: Number of table pairs in the benchmark (matching SyGuS-Comp 2016).
+NUM_PAIRS = 108
+
+#: Default rows per table (the original averages 34.43 rows).
+DEFAULT_ROWS = 34
+
+
+@dataclass(frozen=True)
+class _TaskFamily:
+    """One spreadsheet-task family: entity sampler + input/output formatters."""
+
+    name: str
+    sample: Callable[[random.Random], dict[str, str]]
+    input_format: Callable[[dict[str, str]], str]
+    output_format: Callable[[dict[str, str]], str]
+
+
+def _sample_name(rng: random.Random) -> dict[str, str]:
+    return {
+        "first": rng.choice(wordlists.FIRST_NAMES),
+        "middle": rng.choice(wordlists.FIRST_NAMES),
+        "last": rng.choice(wordlists.LAST_NAMES),
+        "title": rng.choice(["Dr", "Mr", "Ms", "Prof"]),
+    }
+
+
+def _sample_contact(rng: random.Random) -> dict[str, str]:
+    record = _sample_name(rng)
+    record["area"] = rng.choice(["780", "403", "587", "825", "604", "416"])
+    record["prefix"] = str(rng.randint(200, 999))
+    record["line"] = str(rng.randint(1000, 9999))
+    record["domain"] = rng.choice(
+        ["ualberta.ca", "gmail.com", "outlook.com", "telus.net", "shaw.ca"]
+    )
+    return record
+
+
+def _sample_file(rng: random.Random) -> dict[str, str]:
+    folder = rng.choice(["reports", "data", "projects", "archive", "exports"])
+    subfolder = rng.choice(["2019", "2020", "2021", "q1", "q2", "final"])
+    base = rng.choice(
+        ["summary", "budget", "inventory", "results", "notes", "minutes"]
+    )
+    number = str(rng.randint(1, 99))
+    extension = rng.choice(["csv", "xlsx", "txt", "pdf", "docx"])
+    return {
+        "folder": folder,
+        "subfolder": subfolder,
+        "base": base,
+        "number": number,
+        "extension": extension,
+    }
+
+
+def _sample_date(rng: random.Random) -> dict[str, str]:
+    return {
+        "year": str(rng.randint(1995, 2021)),
+        "month": f"{rng.randint(1, 12):02d}",
+        "day": f"{rng.randint(1, 28):02d}",
+        "month_name": rng.choice(wordlists.MONTHS),
+    }
+
+
+def _sample_product(rng: random.Random) -> dict[str, str]:
+    prefix = rng.choice(["AB", "CD", "XR", "PK", "QT", "LM"])
+    code = str(rng.randint(10000, 99999))
+    batch = str(rng.randint(1, 9))
+    plant = rng.choice(["EDM", "CAL", "VAN", "TOR", "WPG"])
+    return {"prefix": prefix, "code": code, "batch": batch, "plant": plant}
+
+
+FAMILIES: tuple[_TaskFamily, ...] = (
+    _TaskFamily(
+        name="first-name",
+        sample=_sample_name,
+        input_format=lambda r: f"{r['first']} {r['last']}",
+        output_format=lambda r: r["first"],
+    ),
+    _TaskFamily(
+        name="last-name",
+        sample=_sample_name,
+        input_format=lambda r: f"{r['first']} {r['last']}",
+        output_format=lambda r: r["last"],
+    ),
+    _TaskFamily(
+        name="last-first",
+        sample=_sample_name,
+        input_format=lambda r: f"{r['first']} {r['last']}",
+        output_format=lambda r: f"{r['last']}, {r['first']}",
+    ),
+    _TaskFamily(
+        name="initials",
+        sample=_sample_name,
+        input_format=lambda r: f"{r['first']} {r['last']}",
+        output_format=lambda r: f"{r['first'][0]}. {r['last']}",
+    ),
+    _TaskFamily(
+        name="title-name",
+        sample=_sample_name,
+        input_format=lambda r: f"{r['title']}. {r['first']} {r['last']}",
+        output_format=lambda r: f"{r['first']} {r['last']}",
+    ),
+    _TaskFamily(
+        name="middle-initial",
+        sample=_sample_name,
+        input_format=lambda r: f"{r['first']} {r['middle']} {r['last']}",
+        output_format=lambda r: f"{r['first']} {r['middle'][0]}. {r['last']}",
+    ),
+    _TaskFamily(
+        name="phone-digits",
+        sample=_sample_contact,
+        input_format=lambda r: f"({r['area']}) {r['prefix']}-{r['line']}",
+        output_format=lambda r: f"{r['area']}-{r['prefix']}-{r['line']}",
+    ),
+    _TaskFamily(
+        name="phone-area",
+        sample=_sample_contact,
+        input_format=lambda r: f"{r['area']}-{r['prefix']}-{r['line']}",
+        output_format=lambda r: f"({r['area']}) {r['prefix']}",
+    ),
+    _TaskFamily(
+        name="email-build",
+        sample=_sample_contact,
+        input_format=lambda r: f"{r['first']} {r['last']}",
+        output_format=lambda r: f"{r['first']}.{r['last']}@{r['domain']}",
+    ),
+    _TaskFamily(
+        name="email-user",
+        sample=_sample_contact,
+        input_format=lambda r: f"{r['first']}.{r['last']}@{r['domain']}",
+        output_format=lambda r: f"{r['first']}.{r['last']}",
+    ),
+    _TaskFamily(
+        name="email-domain",
+        sample=_sample_contact,
+        input_format=lambda r: f"{r['first']}.{r['last']}@{r['domain']}",
+        output_format=lambda r: f"{r['last']} @ {r['domain']}",
+    ),
+    _TaskFamily(
+        name="file-name",
+        sample=_sample_file,
+        input_format=lambda r: (
+            f"/{r['folder']}/{r['subfolder']}/{r['base']}_{r['number']}.{r['extension']}"
+        ),
+        output_format=lambda r: f"{r['base']}_{r['number']}.{r['extension']}",
+    ),
+    _TaskFamily(
+        name="file-extension",
+        sample=_sample_file,
+        input_format=lambda r: f"{r['base']}_{r['number']}.{r['extension']}",
+        output_format=lambda r: f"{r['base']}_{r['number']} ({r['extension']})",
+    ),
+    _TaskFamily(
+        name="file-folder",
+        sample=_sample_file,
+        input_format=lambda r: (
+            f"/{r['folder']}/{r['subfolder']}/{r['base']}.{r['extension']}"
+        ),
+        output_format=lambda r: f"/{r['folder']}/{r['subfolder']}/",
+    ),
+    _TaskFamily(
+        name="date-iso",
+        sample=_sample_date,
+        input_format=lambda r: f"{r['day']}/{r['month']}/{r['year']}",
+        output_format=lambda r: f"{r['year']}-{r['month']}-{r['day']}",
+    ),
+    _TaskFamily(
+        name="date-year",
+        sample=_sample_date,
+        input_format=lambda r: f"{r['month_name']} {r['day']}, {r['year']}",
+        output_format=lambda r: f"{r['year']} ({r['month_name']} {r['day']})",
+    ),
+    _TaskFamily(
+        name="date-month-year",
+        sample=_sample_date,
+        input_format=lambda r: f"{r['month_name']} {r['day']}, {r['year']}",
+        output_format=lambda r: f"{r['month_name']} {r['year']}",
+    ),
+    _TaskFamily(
+        name="product-code",
+        sample=_sample_product,
+        input_format=lambda r: f"{r['prefix']}-{r['code']}-{r['batch']} ({r['plant']})",
+        output_format=lambda r: f"{r['prefix']}{r['code']}",
+    ),
+    _TaskFamily(
+        name="product-plant",
+        sample=_sample_product,
+        input_format=lambda r: f"{r['prefix']}-{r['code']}-{r['batch']} ({r['plant']})",
+        output_format=lambda r: f"{r['plant']}: {r['prefix']}-{r['code']}",
+    ),
+    _TaskFamily(
+        name="product-batch",
+        sample=_sample_product,
+        input_format=lambda r: f"{r['prefix']}-{r['code']}-{r['batch']}",
+        output_format=lambda r: f"batch {r['batch']} of {r['prefix']}-{r['code']}",
+    ),
+)
+
+
+def generate_task_pair(
+    family: _TaskFamily,
+    *,
+    num_rows: int = DEFAULT_ROWS,
+    seed: int = 0,
+    name: str | None = None,
+) -> TablePair:
+    """Generate one spreadsheet-task pair for *family*."""
+    rng = random.Random(seed)
+    records = [family.sample(rng) for _ in range(num_rows)]
+    inputs = [family.input_format(r) for r in records]
+    outputs = [family.output_format(r) for r in records]
+    pair_name = name or family.name
+    return TablePair(
+        name=pair_name,
+        source=Table({"input": inputs}, name=f"{pair_name}_source"),
+        target=Table({"output": outputs}, name=f"{pair_name}_target"),
+        source_column="input",
+        target_column="output",
+        golden_pairs=[(i, i) for i in range(num_rows)],
+        description=f"spreadsheet task family {family.name!r}",
+    )
+
+
+def generate_spreadsheet_dataset(
+    *,
+    num_pairs: int = NUM_PAIRS,
+    num_rows: int = DEFAULT_ROWS,
+    seed: int = 0,
+) -> BenchmarkDataset:
+    """Generate the full simulated spreadsheet benchmark (108 pairs)."""
+    if num_pairs < 1:
+        raise ValueError(f"num_pairs must be >= 1, got {num_pairs}")
+    pairs = []
+    for index in range(num_pairs):
+        family = FAMILIES[index % len(FAMILIES)]
+        pairs.append(
+            generate_task_pair(
+                family,
+                num_rows=num_rows,
+                seed=seed + index,
+                name=f"{family.name}-{index:03d}",
+            )
+        )
+    return BenchmarkDataset(
+        name="spreadsheet",
+        pairs=pairs,
+        description=(
+            "simulated FlashFill/BlinkFill spreadsheet benchmark "
+            f"({num_pairs} pairs)"
+        ),
+    )

@@ -1,0 +1,220 @@
+"""The synthetic benchmark generator (Section 6.1, "Synthetic dataset").
+
+Synth-N tables have N rows whose source strings are random alphanumeric
+strings of length in [20, 35]; Synth-NL tables use lengths in [40, 70].  For
+every source table a set of ground-truth transformations is generated — each
+with ``p = 2`` placeholders and 1–2 literal blocks of length 1–5, using valid
+random parameters — and each target row is produced by applying a randomly
+chosen ground-truth transformation to the corresponding source row.
+
+The generator also exposes single-table construction with explicit length
+ranges so the scalability experiments (Figures 3 and 4) can sweep the number
+of rows and the row length independently.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass
+
+from repro.core.transformation import Transformation
+from repro.core.units import Literal, Substr
+from repro.datasets.base import BenchmarkDataset, TablePair
+from repro.table.table import Table
+
+#: Alphabet of the random source strings (alphanumeric, as in the paper).
+_SOURCE_ALPHABET = string.ascii_lowercase + string.digits
+
+#: Alphabet of literal blocks; includes separators so the separator-splitting
+#: logic of the discovery engine is exercised.
+_LITERAL_ALPHABET = string.ascii_lowercase + string.digits + " .-_@/"
+
+
+@dataclass(frozen=True)
+class SyntheticConfig:
+    """Parameters of one synthetic table pair.
+
+    The defaults correspond to Synth-50 in the paper; ``long_rows`` switches
+    to the Synth-NL length range [40, 70].
+    """
+
+    num_rows: int = 50
+    min_length: int = 20
+    max_length: int = 35
+    num_transformations: int = 3
+    placeholders_per_transformation: int = 2
+    min_literals: int = 1
+    max_literals: int = 2
+    min_literal_length: int = 1
+    max_literal_length: int = 5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.num_rows < 1:
+            raise ValueError(f"num_rows must be >= 1, got {self.num_rows}")
+        if self.min_length < 2:
+            raise ValueError(f"min_length must be >= 2, got {self.min_length}")
+        if self.max_length < self.min_length:
+            raise ValueError(
+                f"max_length ({self.max_length}) must be >= "
+                f"min_length ({self.min_length})"
+            )
+        if self.num_transformations < 1:
+            raise ValueError(
+                "num_transformations must be >= 1, got "
+                f"{self.num_transformations}"
+            )
+        if self.placeholders_per_transformation < 1:
+            raise ValueError(
+                "placeholders_per_transformation must be >= 1, got "
+                f"{self.placeholders_per_transformation}"
+            )
+
+    @classmethod
+    def synth(cls, num_rows: int, *, long_rows: bool = False, seed: int = 0) -> "SyntheticConfig":
+        """Synth-N (``long_rows=False``) or Synth-NL (``long_rows=True``)."""
+        if long_rows:
+            return cls(num_rows=num_rows, min_length=40, max_length=70, seed=seed)
+        return cls(num_rows=num_rows, min_length=20, max_length=35, seed=seed)
+
+
+def _random_source(rng: random.Random, config: SyntheticConfig) -> str:
+    length = rng.randint(config.min_length, config.max_length)
+    return "".join(rng.choice(_SOURCE_ALPHABET) for _ in range(length))
+
+
+def _random_literal(rng: random.Random, config: SyntheticConfig) -> Literal:
+    length = rng.randint(config.min_literal_length, config.max_literal_length)
+    return Literal("".join(rng.choice(_LITERAL_ALPHABET) for _ in range(length)))
+
+
+def _random_transformation(rng: random.Random, config: SyntheticConfig) -> Transformation:
+    """A random ground-truth transformation valid for every source string.
+
+    Placeholders are ``Substr`` units whose ranges fall inside the minimum
+    source length, so the transformation applies to every row.  Literal blocks
+    are interleaved at random positions (always at least one separator-bearing
+    literal between two placeholders, so the generated targets have visible
+    structure).
+    """
+    placeholders = []
+    for _ in range(config.placeholders_per_transformation):
+        # Placeholder blocks of at least 4 characters: long enough for the
+        # n-gram row matcher (n0 = 4) to link source and target rows, matching
+        # the structure of the paper's generator.
+        start = rng.randint(0, max(0, config.min_length - 5))
+        end = rng.randint(
+            min(start + 4, config.min_length), min(config.min_length, start + 12)
+        )
+        placeholders.append(Substr(start, end))
+
+    num_literals = rng.randint(config.min_literals, config.max_literals)
+    literals = [_random_literal(rng, config) for _ in range(num_literals)]
+
+    # Interleave: place literals between/around placeholders at random slots.
+    units: list = list(placeholders)
+    for literal in literals:
+        position = rng.randint(0, len(units))
+        units.insert(position, literal)
+    return Transformation(units).simplified()
+
+
+def generate_table_pair(
+    config: SyntheticConfig, *, name: str = "synthetic"
+) -> tuple[TablePair, list[Transformation]]:
+    """Generate one synthetic pair plus its ground-truth transformations."""
+    rng = random.Random(config.seed)
+    sources = [_random_source(rng, config) for _ in range(config.num_rows)]
+    transformations = [
+        _random_transformation(rng, config)
+        for _ in range(config.num_transformations)
+    ]
+    targets: list[str] = []
+    applied: list[int] = []
+    for source in sources:
+        index = rng.randrange(len(transformations))
+        output = transformations[index].apply(source)
+        # Ground-truth transformations are valid for every source by
+        # construction, so output is never None.
+        assert output is not None
+        targets.append(output)
+        applied.append(index)
+
+    source_table = Table(
+        {"id": [str(i) for i in range(config.num_rows)], "value": sources},
+        name=f"{name}_source",
+    )
+    target_table = Table(
+        {
+            "id": [str(i) for i in range(config.num_rows)],
+            "value": targets,
+            "rule": [str(i) for i in applied],
+        },
+        name=f"{name}_target",
+    )
+    pair = TablePair(
+        name=name,
+        source=source_table,
+        target=target_table,
+        source_column="value",
+        target_column="value",
+        golden_pairs=[(i, i) for i in range(config.num_rows)],
+        description=(
+            f"synthetic pair: {config.num_rows} rows, source length in "
+            f"[{config.min_length}, {config.max_length}], "
+            f"{config.num_transformations} ground-truth transformations"
+        ),
+    )
+    return pair, transformations
+
+
+def generate_synthetic_dataset(
+    num_rows: int,
+    *,
+    long_rows: bool = False,
+    num_tables: int = 10,
+    seed: int = 0,
+) -> BenchmarkDataset:
+    """Generate a Synth-N / Synth-NL dataset of *num_tables* independent pairs.
+
+    The paper averages results over 10 independently generated tables with the
+    same parameters; ``num_tables`` controls that count.
+    """
+    suffix = "L" if long_rows else ""
+    pairs = []
+    for table_index in range(num_tables):
+        config = SyntheticConfig.synth(
+            num_rows, long_rows=long_rows, seed=seed + table_index
+        )
+        pair, _ = generate_table_pair(
+            config, name=f"synth-{num_rows}{suffix}-{table_index}"
+        )
+        pairs.append(pair)
+    return BenchmarkDataset(
+        name=f"Synth-{num_rows}{suffix}",
+        pairs=pairs,
+        description=(
+            f"synthetic tables with {num_rows} rows and "
+            f"{'long' if long_rows else 'short'} source strings"
+        ),
+    )
+
+
+def generate_length_sweep_pair(
+    *,
+    num_rows: int,
+    row_length: int,
+    seed: int = 0,
+    name: str | None = None,
+) -> tuple[TablePair, list[Transformation]]:
+    """A synthetic pair with a fixed source length (for Figures 3 and 4b)."""
+    config = SyntheticConfig(
+        num_rows=num_rows,
+        min_length=row_length,
+        max_length=row_length,
+        seed=seed,
+    )
+    return generate_table_pair(
+        config, name=name or f"synth-len{row_length}-rows{num_rows}"
+    )

@@ -1,0 +1,154 @@
+"""Word lists used by the dataset generators.
+
+The simulated benchmarks need realistic-looking names, departments, streets
+and cities.  The lists below are small but, combined with seeded random
+composition (first x last names, street number x street x suffix, …), produce
+tens of thousands of distinct values — enough to give the row matcher the
+same n-gram-collision structure as the benchmarks the paper uses.
+"""
+
+from __future__ import annotations
+
+FIRST_NAMES: tuple[str, ...] = (
+    "Aaron", "Adele", "Adrian", "Aisha", "Alan", "Albert", "Alice", "Amara",
+    "Amir", "Andre", "Andrea", "Andrzej", "Angela", "Anita", "Anton", "Arash",
+    "Arthur", "Ava", "Benjamin", "Bianca", "Boris", "Brian", "Bruno", "Camila",
+    "Carla", "Carlos", "Carmen", "Cecilia", "Chen", "Claire", "Daniel", "Davood",
+    "Deborah", "Dennis", "Diana", "Diego", "Dmitri", "Donald", "Dora", "Douglas",
+    "Edward", "Elena", "Elias", "Emma", "Eric", "Esther", "Fatima", "Felix",
+    "Fernando", "Fiona", "Frank", "Gabriel", "George", "Gloria", "Gordon",
+    "Grace", "Hannah", "Harold", "Hassan", "Helen", "Henry", "Hiroshi", "Ibrahim",
+    "Irene", "Isaac", "Ivan", "Jack", "Jasmine", "Javier", "Jean", "Jennifer",
+    "Joan", "Jorge", "Joseph", "Julia", "Karen", "Karl", "Kasia", "Keith",
+    "Kevin", "Laila", "Laura", "Leonard", "Lily", "Linda", "Lucas", "Maria",
+    "Mario", "Martin", "Mei", "Michael", "Miguel", "Mohamed", "Monica", "Nadia",
+    "Nancy", "Naomi", "Natasha", "Nicholas", "Nina", "Noah", "Olga", "Oliver",
+    "Omar", "Oscar", "Pablo", "Patricia", "Paul", "Pedro", "Peter", "Priya",
+    "Rachel", "Rahim", "Raymond", "Rebecca", "Ricardo", "Richard", "Robert",
+    "Rosa", "Ruth", "Samuel", "Sandra", "Sara", "Sergei", "Simon", "Sofia",
+    "Stephen", "Susan", "Tanya", "Teresa", "Thomas", "Victor", "Walter", "Wei",
+    "William", "Xavier", "Yasmin", "Yuki", "Zara", "Zhang",
+)
+
+LAST_NAMES: tuple[str, ...] = (
+    "Abbott", "Adams", "Aguilar", "Ahmed", "Anderson", "Andrade", "Baker",
+    "Barnes", "Becker", "Bell", "Bennett", "Bowling", "Brooks", "Brown",
+    "Campbell", "Carter", "Chan", "Chen", "Clark", "Collins", "Cooper",
+    "Costa", "Cruz", "Czarnecki", "Davis", "Diaz", "Dixon", "Duncan",
+    "Edwards", "Evans", "Ferreira", "Fischer", "Fleming", "Foster", "Fraser",
+    "Garcia", "Gardner", "Gingrich", "Gomez", "Gonzalez", "Gosgnach", "Graham",
+    "Grant", "Gray", "Green", "Gupta", "Hall", "Hamilton", "Hansen", "Harris",
+    "Hayes", "Henderson", "Hernandez", "Hoffman", "Howard", "Hughes", "Hunter",
+    "Ibrahim", "Jackson", "James", "Jansen", "Jenkins", "Johnson", "Jones",
+    "Kaur", "Keller", "Kelly", "Khan", "Kim", "King", "Kowalski", "Kumar",
+    "Larsen", "Lee", "Lewis", "Li", "Lopez", "Marshall", "Martin", "Martinez",
+    "Mason", "McDonald", "Mendoza", "Meyer", "Miller", "Mitchell", "Moore",
+    "Morales", "Morgan", "Murphy", "Murray", "Nakamura", "Nascimento", "Nelson",
+    "Nguyen", "Nobari", "Novak", "Olsen", "Ortiz", "Osman", "Palmer", "Park",
+    "Patel", "Pearson", "Pereira", "Perez", "Peterson", "Phillips", "Powell",
+    "Price", "Rafiei", "Ramirez", "Reed", "Reyes", "Richardson", "Rivera",
+    "Roberts", "Robinson", "Rodriguez", "Rogers", "Ross", "Russell", "Sanchez",
+    "Sanders", "Santos", "Schmidt", "Scott", "Shah", "Silva", "Simpson",
+    "Singh", "Smith", "Stewart", "Sullivan", "Suzuki", "Tanaka", "Taylor",
+    "Thompson", "Torres", "Tremblay", "Turner", "Walker", "Wallace", "Wang",
+    "Ward", "Watson", "Weber", "White", "Williams", "Wilson", "Wong", "Wood",
+    "Wright", "Yamamoto", "Yang", "Young", "Zhang", "Zhao",
+)
+
+DEPARTMENTS: tuple[str, ...] = (
+    "Computing Science", "Physics", "Physiology", "Chemistry", "Mathematics",
+    "Biology", "Economics", "History", "Psychology", "Sociology",
+    "Civil Engineering", "Electrical Engineering", "Mechanical Engineering",
+    "Linguistics", "Philosophy", "Political Science", "Statistics",
+)
+
+DEPARTMENT_CODES: dict[str, str] = {
+    "Computing Science": "CS",
+    "Physics": "PHYS",
+    "Physiology": "PSL",
+    "Chemistry": "CHEM",
+    "Mathematics": "MATH",
+    "Biology": "BIOL",
+    "Economics": "ECON",
+    "History": "HIST",
+    "Psychology": "PSYC",
+    "Sociology": "SOC",
+    "Civil Engineering": "CIVE",
+    "Electrical Engineering": "ECE",
+    "Mechanical Engineering": "MECE",
+    "Linguistics": "LING",
+    "Philosophy": "PHIL",
+    "Political Science": "POLS",
+    "Statistics": "STAT",
+}
+
+STREET_NAMES: tuple[str, ...] = (
+    "Jasper", "Whyte", "Saskatchewan", "University", "Groat", "Stony Plain",
+    "Calgary Trail", "Gateway", "Kingsway", "Fort", "Victoria", "Churchill",
+    "McDougall", "Rossdale", "Strathcona", "Garneau", "Belgravia", "Windsor",
+    "Summit", "Riverside", "Meadowlark", "Castle Downs", "Mill Woods",
+    "Terwillegar", "Rabbit Hill", "Ellerslie", "Manning", "Yellowhead",
+)
+
+STREET_TYPES: tuple[str, ...] = (
+    "Street", "Avenue", "Boulevard", "Drive", "Road", "Crescent", "Way",
+    "Place", "Lane", "Gate",
+)
+
+STREET_TYPE_ABBREVIATIONS: dict[str, str] = {
+    "Street": "St",
+    "Avenue": "Ave",
+    "Boulevard": "Blvd",
+    "Drive": "Dr",
+    "Road": "Rd",
+    "Crescent": "Cres",
+    "Way": "Way",
+    "Place": "Pl",
+    "Lane": "Ln",
+    "Gate": "Gt",
+}
+
+QUADRANTS: tuple[str, ...] = ("NW", "SW", "NE", "SE")
+
+CITIES: tuple[str, ...] = (
+    "Edmonton", "Calgary", "Red Deer", "Lethbridge", "St. Albert",
+    "Medicine Hat", "Grande Prairie", "Airdrie", "Spruce Grove", "Leduc",
+)
+
+US_STATES: tuple[tuple[str, str], ...] = (
+    ("California", "CA"), ("Texas", "TX"), ("New York", "NY"), ("Florida", "FL"),
+    ("Illinois", "IL"), ("Ohio", "OH"), ("Georgia", "GA"), ("Michigan", "MI"),
+    ("Washington", "WA"), ("Oregon", "OR"), ("Colorado", "CO"), ("Arizona", "AZ"),
+    ("Virginia", "VA"), ("Massachusetts", "MA"), ("Minnesota", "MN"),
+    ("Wisconsin", "WI"), ("Maryland", "MD"),
+)
+
+COMPANIES: tuple[str, ...] = (
+    "Northern Lights Consulting", "Prairie Data Systems", "Aurora Software",
+    "Glacier Analytics", "Foothills Energy", "Chinook Logistics",
+    "Riverbend Media", "Summit Financial", "Timberline Construction",
+    "Wildrose Technologies", "Blue Spruce Design", "Ironwood Manufacturing",
+)
+
+MONTHS: tuple[str, ...] = (
+    "January", "February", "March", "April", "May", "June", "July", "August",
+    "September", "October", "November", "December",
+)
+
+AIRPORTS: tuple[tuple[str, str, str], ...] = (
+    ("Edmonton International Airport", "YEG", "Edmonton"),
+    ("Calgary International Airport", "YYC", "Calgary"),
+    ("Vancouver International Airport", "YVR", "Vancouver"),
+    ("Toronto Pearson International Airport", "YYZ", "Toronto"),
+    ("Montreal Trudeau International Airport", "YUL", "Montreal"),
+    ("Ottawa Macdonald-Cartier International Airport", "YOW", "Ottawa"),
+    ("Winnipeg Richardson International Airport", "YWG", "Winnipeg"),
+    ("Halifax Stanfield International Airport", "YHZ", "Halifax"),
+    ("Victoria International Airport", "YYJ", "Victoria"),
+    ("Saskatoon John G. Diefenbaker Airport", "YXE", "Saskatoon"),
+    ("Regina International Airport", "YQR", "Regina"),
+    ("Kelowna International Airport", "YLW", "Kelowna"),
+    ("St. Johns International Airport", "YYT", "St. Johns"),
+    ("Quebec City Jean Lesage Airport", "YQB", "Quebec City"),
+    ("Thunder Bay International Airport", "YQT", "Thunder Bay"),
+)

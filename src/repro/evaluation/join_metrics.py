@@ -1,0 +1,19 @@
+"""End-to-end join quality (Table 3 of the paper).
+
+The output of a joiner is a set of (source_row, target_row) pairs; the
+metrics compare that set against a ground-truth matching.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.evaluation.matching_metrics import PRF, prf
+
+
+def evaluate_join(
+    joined_pairs: Iterable[tuple[int, int]],
+    gold: Iterable[tuple[int, int]],
+) -> PRF:
+    """Precision / recall / F1 of joined row pairs against the gold matching."""
+    return prf(joined_pairs, gold)

@@ -1,0 +1,68 @@
+"""Precision / recall / F1 of candidate row pairs (Table 1 of the paper)."""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.core.pairs import RowPair
+
+
+@dataclass(frozen=True)
+class PRF:
+    """Precision, recall and F1 of a set of predicted pairs."""
+
+    precision: float
+    recall: float
+    f1: float
+    num_predicted: int
+    num_gold: int
+    num_correct: int
+
+    def as_dict(self) -> dict[str, float]:
+        """The metrics as a flat dict."""
+        return {
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+            "num_predicted": self.num_predicted,
+            "num_gold": self.num_gold,
+            "num_correct": self.num_correct,
+        }
+
+
+def prf(
+    predicted: Iterable[tuple[int, int]],
+    gold: Iterable[tuple[int, int]],
+) -> PRF:
+    """Compute precision/recall/F1 of predicted (source_row, target_row) pairs."""
+    predicted_set = set(predicted)
+    gold_set = set(gold)
+    correct = len(predicted_set & gold_set)
+    precision = correct / len(predicted_set) if predicted_set else 0.0
+    recall = correct / len(gold_set) if gold_set else 0.0
+    if precision + recall == 0.0:
+        f1 = 0.0
+    else:
+        f1 = 2 * precision * recall / (precision + recall)
+    return PRF(
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        num_predicted=len(predicted_set),
+        num_gold=len(gold_set),
+        num_correct=correct,
+    )
+
+
+def evaluate_matching(
+    pairs: Sequence[RowPair],
+    gold: Iterable[tuple[int, int]],
+) -> PRF:
+    """Evaluate a row matcher's output against a ground-truth matching.
+
+    Pairs whose row indices are unknown (``-1``) cannot be evaluated and are
+    counted as incorrect predictions.
+    """
+    predicted = {(p.source_row, p.target_row) for p in pairs}
+    return prf(predicted, gold)

@@ -1,0 +1,19 @@
+"""End-to-end transformation join (Section 4.2 / Section 6.5 of the paper).
+
+:class:`~repro.join.joiner.TransformationJoiner` applies a discovered
+transformation set (filtered by a minimum support) to the source column and
+equi-joins the transformed values against the target column.
+:class:`~repro.join.pipeline.JoinPipeline` wires the row matcher, the
+discovery engine and the joiner into the complete system evaluated in
+Table 3.
+"""
+
+from repro.join.joiner import JoinResult, TransformationJoiner
+from repro.join.pipeline import JoinPipeline, PipelineResult
+
+__all__ = [
+    "JoinPipeline",
+    "JoinResult",
+    "PipelineResult",
+    "TransformationJoiner",
+]

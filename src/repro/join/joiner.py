@@ -1,0 +1,199 @@
+"""Applying a transformation set to equi-join two columns.
+
+The experiments of Section 6.5 apply every transformation whose support (the
+fraction of candidate pairs it covers) reaches a threshold to the source
+column; a source row joins a target row whenever any applied transformation
+maps the source cell to exactly the target cell.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.core.coverage import CoverageResult
+from repro.core.transformation import Transformation
+from repro.table.table import Table
+
+
+@dataclass
+class JoinResult:
+    """Row pairs produced by a transformation join.
+
+    ``pairs`` holds (source_row, target_row) index pairs;
+    ``matched_by`` records which transformation produced each pair (the first
+    transformation that matched, in the order they were applied).
+    """
+
+    pairs: list[tuple[int, int]] = field(default_factory=list)
+    matched_by: dict[tuple[int, int], Transformation] = field(default_factory=dict)
+
+    @property
+    def num_pairs(self) -> int:
+        """Number of joined row pairs."""
+        return len(self.pairs)
+
+    def as_set(self) -> set[tuple[int, int]]:
+        """The joined pairs as a set (for metric computation)."""
+        return set(self.pairs)
+
+
+class TransformationJoiner:
+    """Join two columns using a set of discovered transformations."""
+
+    def __init__(
+        self,
+        transformations: Sequence[Transformation],
+        *,
+        min_support: float = 0.0,
+        coverage_results: Sequence[CoverageResult] | None = None,
+        num_candidate_pairs: int | None = None,
+        case_insensitive: bool = False,
+    ) -> None:
+        """Create a joiner.
+
+        Parameters
+        ----------
+        transformations:
+            The transformations to apply, in priority order.
+        min_support:
+            Minimum coverage fraction a transformation must have had during
+            discovery to be applied.  Requires *coverage_results* and
+            *num_candidate_pairs*; ignored when 0.
+        coverage_results / num_candidate_pairs:
+            The discovery-time coverage of each transformation and the number
+            of candidate pairs it was computed over, used to evaluate the
+            support threshold.
+        case_insensitive:
+            Lower-case source and target values before applying the
+            transformations and comparing.  Use together with
+            ``DiscoveryConfig(case_insensitive=True)`` so the transformations
+            see the same normalization they were learned on.
+        """
+        if min_support < 0.0 or min_support > 1.0:
+            raise ValueError(f"min_support must be in [0, 1], got {min_support}")
+        if min_support > 0.0 and coverage_results is None:
+            raise ValueError(
+                "min_support filtering requires the discovery coverage_results"
+            )
+        # Constant (literal-only) transformations map *every* source row to the
+        # same value; applying one in a join would link every source row to any
+        # target row carrying that value.  They can legitimately appear in a
+        # covering set (they mop up noise rows during discovery) but are never
+        # useful as join rules, so they are dropped here.
+        applicable = [t for t in transformations if not t.is_constant]
+        self._transformations = self._filter_by_support(
+            applicable,
+            min_support,
+            coverage_results,
+            num_candidate_pairs,
+        )
+        self._case_insensitive = case_insensitive
+
+    @staticmethod
+    def _filter_by_support(
+        transformations: list[Transformation],
+        min_support: float,
+        coverage_results: Sequence[CoverageResult] | None,
+        num_candidate_pairs: int | None,
+    ) -> list[Transformation]:
+        if min_support <= 0.0 or not coverage_results:
+            return transformations
+        if not num_candidate_pairs:
+            num_candidate_pairs = max(
+                (max(result.covered_rows, default=0) + 1 for result in coverage_results),
+                default=0,
+            )
+        supported = {
+            result.transformation
+            for result in coverage_results
+            if num_candidate_pairs
+            and result.coverage_fraction(num_candidate_pairs) >= min_support
+        }
+        kept = [t for t in transformations if t in supported]
+        # Never filter everything away: fall back to the full set so the join
+        # still produces output (matching the paper's behaviour of always
+        # reporting a join).
+        return kept or transformations
+
+    @property
+    def transformations(self) -> list[Transformation]:
+        """The transformations that passed the support filter."""
+        return list(self._transformations)
+
+    # ------------------------------------------------------------------ #
+    # Joining
+    # ------------------------------------------------------------------ #
+    def join_values(
+        self,
+        source_values: Sequence[str],
+        target_values: Sequence[str],
+    ) -> JoinResult:
+        """Join two plain value lists; row ids are list positions."""
+        if self._case_insensitive:
+            source_values = [value.lower() for value in source_values]
+            target_values = [value.lower() for value in target_values]
+        target_index: dict[str, list[int]] = defaultdict(list)
+        for target_row, value in enumerate(target_values):
+            target_index[value].append(target_row)
+
+        result = JoinResult()
+        seen: set[tuple[int, int]] = set()
+        for transformation in self._transformations:
+            for source_row, source_value in enumerate(source_values):
+                transformed = transformation.apply(source_value)
+                if transformed is None:
+                    continue
+                for target_row in target_index.get(transformed, ()):
+                    key = (source_row, target_row)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    result.pairs.append(key)
+                    result.matched_by[key] = transformation
+        return result
+
+    def join(
+        self,
+        source: Table,
+        target: Table,
+        *,
+        source_column: str,
+        target_column: str,
+    ) -> JoinResult:
+        """Join two tables on the given columns."""
+        return self.join_values(
+            list(source[source_column]), list(target[target_column])
+        )
+
+    def materialize(
+        self,
+        source: Table,
+        target: Table,
+        *,
+        source_column: str,
+        target_column: str,
+    ) -> Table:
+        """Return the joined table (all columns of both inputs, suffixed)."""
+        join_result = self.join(
+            source,
+            target,
+            source_column=source_column,
+            target_column=target_column,
+        )
+        columns: dict[str, list[str]] = {}
+        for name in source.column_names:
+            columns[f"{name}_source"] = []
+        for name in target.column_names:
+            columns[f"{name}_target"] = []
+        columns["__left_row__"] = []
+        columns["__right_row__"] = []
+        for source_row, target_row in join_result.pairs:
+            for name in source.column_names:
+                columns[f"{name}_source"].append(source[name][source_row])
+            for name in target.column_names:
+                columns[f"{name}_target"].append(target[name][target_row])
+            columns["__left_row__"].append(str(source_row))
+            columns["__right_row__"].append(str(target_row))
+        return Table(columns, name=f"{source.name}_tjoin_{target.name}")

@@ -1,0 +1,130 @@
+"""The complete end-to-end join pipeline (Section 4.2).
+
+``JoinPipeline`` chains the three stages of the paper's system:
+
+1. **Row matching** — an :class:`~repro.matching.row_matcher.NGramRowMatcher`
+   (or a golden matcher) proposes candidate joinable row pairs,
+2. **Transformation discovery** — the
+   :class:`~repro.core.discovery.TransformationDiscovery` engine learns a
+   covering set of transformations from those pairs,
+3. **Transformation join** — the
+   :class:`~repro.join.joiner.TransformationJoiner` applies the
+   transformations (filtered by a minimum support) and equi-joins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import DiscoveryConfig
+from repro.core.discovery import DiscoveryResult, TransformationDiscovery
+from repro.join.joiner import JoinResult, TransformationJoiner
+from repro.matching.row_matcher import NGramRowMatcher, RowMatcher
+from repro.table.table import Table
+
+
+@dataclass
+class PipelineResult:
+    """Everything the end-to-end pipeline produced for one table pair."""
+
+    candidate_pairs: int
+    discovery: DiscoveryResult
+    join: JoinResult
+    joined_table: Table | None = None
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def joined_pairs(self) -> set[tuple[int, int]]:
+        """The joined (source_row, target_row) pairs."""
+        return self.join.as_set()
+
+
+class JoinPipeline:
+    """End-to-end system: match rows, learn transformations, join.
+
+    Example
+    -------
+    >>> from repro.join import JoinPipeline
+    >>> pipeline = JoinPipeline()
+    >>> result = pipeline.run(source_table, target_table,
+    ...                       source_column="Name", target_column="Name")
+    >>> result.join.num_pairs
+    """
+
+    def __init__(
+        self,
+        *,
+        matcher: RowMatcher | None = None,
+        discovery_config: DiscoveryConfig | None = None,
+        min_support: float = 0.05,
+        materialize: bool = False,
+    ) -> None:
+        """Create a pipeline.
+
+        Parameters
+        ----------
+        matcher:
+            The row matcher; defaults to the n-gram matcher with the paper's
+            settings.
+        discovery_config:
+            Configuration of the discovery engine.
+        min_support:
+            Minimum coverage fraction a transformation needs to be applied in
+            the join (the paper uses 5 %, and 2 % for open data).
+        materialize:
+            When True the joined table is materialized in the result.
+        """
+        self._matcher = matcher or NGramRowMatcher()
+        self._discovery = TransformationDiscovery(discovery_config)
+        self._min_support = min_support
+        self._materialize = materialize
+
+    @property
+    def discovery_engine(self) -> TransformationDiscovery:
+        """The underlying discovery engine."""
+        return self._discovery
+
+    def run(
+        self,
+        source: Table,
+        target: Table,
+        *,
+        source_column: str,
+        target_column: str,
+    ) -> PipelineResult:
+        """Run the full pipeline on one table pair."""
+        candidate_pairs = self._matcher.match(
+            source,
+            target,
+            source_column=source_column,
+            target_column=target_column,
+        )
+        discovery = self._discovery.discover(candidate_pairs)
+
+        joiner = TransformationJoiner(
+            discovery.transformations,
+            min_support=self._min_support,
+            coverage_results=discovery.cover,
+            num_candidate_pairs=len(candidate_pairs),
+            case_insensitive=self._discovery.config.case_insensitive,
+        )
+        join_result = joiner.join(
+            source,
+            target,
+            source_column=source_column,
+            target_column=target_column,
+        )
+        joined_table = None
+        if self._materialize:
+            joined_table = joiner.materialize(
+                source,
+                target,
+                source_column=source_column,
+                target_column=target_column,
+            )
+        return PipelineResult(
+            candidate_pairs=len(candidate_pairs),
+            discovery=discovery,
+            join=join_result,
+            joined_table=joined_table,
+        )

@@ -1,0 +1,37 @@
+"""Row matching: finding candidate joinable row pairs (Section 4.2.1).
+
+Before transformations can be learned, the system needs candidate
+(source, target) row pairs.  This package implements the paper's n-gram
+matcher:
+
+* :mod:`repro.matching.ngrams` — character n-gram extraction,
+* :mod:`repro.matching.index` — an inverted index from n-grams to row ids,
+* :mod:`repro.matching.scoring` — Inverse Row Frequency (IRF) and the
+  representative score (Rscore),
+* :mod:`repro.matching.row_matcher` — Algorithm 1 (representative-n-gram
+  matching) plus a golden matcher that replays a known ground truth.
+"""
+
+from repro.matching.index import InvertedIndex
+from repro.matching.ngrams import character_ngrams, ngrams_in_range
+from repro.matching.row_matcher import (
+    GoldenRowMatcher,
+    MatchingConfig,
+    NGramRowMatcher,
+    RowMatcher,
+    choose_source_column,
+)
+from repro.matching.scoring import inverse_row_frequency, representative_score
+
+__all__ = [
+    "GoldenRowMatcher",
+    "InvertedIndex",
+    "MatchingConfig",
+    "NGramRowMatcher",
+    "RowMatcher",
+    "character_ngrams",
+    "choose_source_column",
+    "inverse_row_frequency",
+    "ngrams_in_range",
+    "representative_score",
+]

@@ -1,0 +1,94 @@
+"""Inverted index from character n-grams to row ids.
+
+The index is a hash map keyed by n-gram with the set of row ids containing
+the n-gram as the value, so candidate target rows for a representative n-gram
+are found in O(1) (Section 4.2.1: "the inverted index is organized as a hash
+with every n-gram of size n0 <= n <= nmax as a key").
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Sequence
+
+from repro.matching.ngrams import unique_ngrams
+
+
+class InvertedIndex:
+    """Map n-grams (of a range of sizes) to the ids of rows containing them."""
+
+    def __init__(
+        self,
+        *,
+        min_size: int,
+        max_size: int,
+        lowercase: bool = True,
+    ) -> None:
+        if min_size <= 0:
+            raise ValueError(f"min n-gram size must be positive, got {min_size}")
+        if max_size < min_size:
+            raise ValueError(
+                f"max n-gram size ({max_size}) must be >= min size ({min_size})"
+            )
+        self._min_size = min_size
+        self._max_size = max_size
+        self._lowercase = lowercase
+        self._postings: dict[str, set[int]] = defaultdict(set)
+        self._num_rows = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(
+        cls,
+        rows: Sequence[str],
+        *,
+        min_size: int,
+        max_size: int,
+        lowercase: bool = True,
+    ) -> "InvertedIndex":
+        """Index every row of *rows* (row ids are their positions)."""
+        index = cls(min_size=min_size, max_size=max_size, lowercase=lowercase)
+        for row_id, text in enumerate(rows):
+            index.add(row_id, text)
+        return index
+
+    def add(self, row_id: int, text: str) -> None:
+        """Add one row's n-grams to the index."""
+        for size in range(self._min_size, self._max_size + 1):
+            for gram in unique_ngrams(text, size, lowercase=self._lowercase):
+                self._postings[gram].add(row_id)
+        self._num_rows += 1
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    @property
+    def num_rows(self) -> int:
+        """Number of rows indexed."""
+        return self._num_rows
+
+    @property
+    def num_ngrams(self) -> int:
+        """Number of distinct n-grams in the index."""
+        return len(self._postings)
+
+    def rows_containing(self, gram: str) -> frozenset[int]:
+        """Ids of rows containing *gram* (empty when the n-gram is unknown)."""
+        if self._lowercase:
+            gram = gram.lower()
+        return frozenset(self._postings.get(gram, frozenset()))
+
+    def row_frequency(self, gram: str) -> int:
+        """Number of rows containing *gram*."""
+        if self._lowercase:
+            gram = gram.lower()
+        return len(self._postings.get(gram, ()))
+
+    def __contains__(self, gram: object) -> bool:
+        if not isinstance(gram, str):
+            return False
+        if self._lowercase:
+            gram = gram.lower()
+        return gram in self._postings

@@ -1,0 +1,222 @@
+"""Row matchers: produce candidate joinable (source, target) row pairs.
+
+:class:`NGramRowMatcher` implements Algorithm 1 of the paper: for every
+source row and every n-gram size in ``[n0, nmax]`` it selects the n-gram with
+the highest Rscore as the representative n-gram of that size, and every
+target row containing a representative n-gram becomes a candidate pair.
+
+:class:`GoldenRowMatcher` replays a known ground-truth matching, which the
+experiments use as the "golden" panel of Tables 2 and 4.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.core.pairs import RowPair
+from repro.matching.index import InvertedIndex
+from repro.matching.ngrams import unique_ngrams
+from repro.matching.scoring import representative_score
+from repro.table.table import Table
+
+
+@dataclass(frozen=True)
+class MatchingConfig:
+    """Parameters of the n-gram row matcher.
+
+    The defaults follow Section 6.2 of the paper: representative n-grams of
+    sizes 4 through 20, lower-cased comparison.
+    """
+
+    min_ngram: int = 4
+    max_ngram: int = 20
+    lowercase: bool = True
+    max_candidates_per_row: int = 0  # 0 = unlimited (many-to-many joins)
+
+    def __post_init__(self) -> None:
+        if self.min_ngram <= 0:
+            raise ValueError(f"min_ngram must be positive, got {self.min_ngram}")
+        if self.max_ngram < self.min_ngram:
+            raise ValueError(
+                f"max_ngram ({self.max_ngram}) must be >= min_ngram ({self.min_ngram})"
+            )
+        if self.max_candidates_per_row < 0:
+            raise ValueError(
+                "max_candidates_per_row must be >= 0, got "
+                f"{self.max_candidates_per_row}"
+            )
+
+
+class RowMatcher(ABC):
+    """Interface of all row matchers."""
+
+    @abstractmethod
+    def match(
+        self,
+        source: Table,
+        target: Table,
+        *,
+        source_column: str,
+        target_column: str,
+    ) -> list[RowPair]:
+        """Return candidate joinable row pairs between the two columns."""
+
+
+def choose_source_column(left: Table, right: Table, column_left: str, column_right: str) -> bool:
+    """Decide whether *left* should be the source (more informative) table.
+
+    The paper tags the column with longer descriptions on average as the
+    source column.  Returns True when the left column's average cell length is
+    at least that of the right column.
+    """
+    return left[column_left].average_length() >= right[column_right].average_length()
+
+
+class NGramRowMatcher(RowMatcher):
+    """Algorithm 1: representative-n-gram candidate pair detection."""
+
+    def __init__(self, config: MatchingConfig | None = None) -> None:
+        self._config = config or MatchingConfig()
+
+    @property
+    def config(self) -> MatchingConfig:
+        """The matcher configuration."""
+        return self._config
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def match(
+        self,
+        source: Table,
+        target: Table,
+        *,
+        source_column: str,
+        target_column: str,
+    ) -> list[RowPair]:
+        source_values = list(source[source_column])
+        target_values = list(target[target_column])
+        return self.match_values(source_values, target_values)
+
+    def match_values(
+        self,
+        source_values: Sequence[str],
+        target_values: Sequence[str],
+    ) -> list[RowPair]:
+        """Match plain value lists (row ids are positions in the lists)."""
+        config = self._config
+        source_index = InvertedIndex.build(
+            source_values,
+            min_size=config.min_ngram,
+            max_size=config.max_ngram,
+            lowercase=config.lowercase,
+        )
+        target_index = InvertedIndex.build(
+            target_values,
+            min_size=config.min_ngram,
+            max_size=config.max_ngram,
+            lowercase=config.lowercase,
+        )
+
+        pairs: list[RowPair] = []
+        seen: set[tuple[int, int]] = set()
+        for source_row, source_text in enumerate(source_values):
+            candidate_targets = self._candidates_for_row(
+                source_text, source_index, target_index
+            )
+            if config.max_candidates_per_row:
+                candidate_targets = candidate_targets[
+                    : config.max_candidates_per_row
+                ]
+            for target_row in candidate_targets:
+                key = (source_row, target_row)
+                if key in seen:
+                    continue
+                seen.add(key)
+                pairs.append(
+                    RowPair(
+                        source=source_text,
+                        target=target_values[target_row],
+                        source_row=source_row,
+                        target_row=target_row,
+                    )
+                )
+        return pairs
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _candidates_for_row(
+        self,
+        source_text: str,
+        source_index: InvertedIndex,
+        target_index: InvertedIndex,
+    ) -> list[int]:
+        """Target rows containing a representative n-gram of *source_text*.
+
+        For every n-gram size, the n-gram of the source row with the highest
+        Rscore is its representative of that size; every target row containing
+        any representative becomes a candidate.
+        """
+        config = self._config
+        candidates: list[int] = []
+        seen: set[int] = set()
+        for size in range(config.min_ngram, config.max_ngram + 1):
+            grams = unique_ngrams(source_text, size, lowercase=config.lowercase)
+            if not grams:
+                break
+            representative = None
+            best_score = 0.0
+            for gram in sorted(grams):
+                score = representative_score(gram, source_index, target_index)
+                if score > best_score:
+                    best_score = score
+                    representative = gram
+            if representative is None:
+                continue
+            for target_row in sorted(target_index.rows_containing(representative)):
+                if target_row not in seen:
+                    seen.add(target_row)
+                    candidates.append(target_row)
+        return candidates
+
+
+class GoldenRowMatcher(RowMatcher):
+    """Replay a known ground-truth matching (the "golden" panels of the paper)."""
+
+    def __init__(self, golden_pairs: Sequence[tuple[int, int]]) -> None:
+        self._golden_pairs = list(golden_pairs)
+
+    def match(
+        self,
+        source: Table,
+        target: Table,
+        *,
+        source_column: str,
+        target_column: str,
+    ) -> list[RowPair]:
+        source_values = source[source_column]
+        target_values = target[target_column]
+        pairs: list[RowPair] = []
+        for source_row, target_row in self._golden_pairs:
+            if not 0 <= source_row < len(source_values):
+                raise IndexError(
+                    f"golden pair source row {source_row} out of range "
+                    f"[0, {len(source_values)})"
+                )
+            if not 0 <= target_row < len(target_values):
+                raise IndexError(
+                    f"golden pair target row {target_row} out of range "
+                    f"[0, {len(target_values)})"
+                )
+            pairs.append(
+                RowPair(
+                    source=source_values[source_row],
+                    target=target_values[target_row],
+                    source_row=source_row,
+                    target_row=target_row,
+                )
+            )
+        return pairs

@@ -1,0 +1,44 @@
+"""IRF and Rscore (Equations 1 and 2 of the paper).
+
+In the spirit of IDF, the Inverse Row Frequency of an n-gram *t* in a column
+*c* is ``1 / (number of rows of c containing t)``, and the representative
+score of an n-gram appearing in both the source column SC and the target
+column TC is ``Rscore(t) = IRF(t, SC) * IRF(t, TC)``.  Representative n-grams
+(highest Rscore per source row and n-gram size) drive the candidate-pair
+search and keep stop-word-like n-grams ("alberta", "Dr. ") from flooding the
+matcher with false positives.
+"""
+
+from __future__ import annotations
+
+from repro.matching.index import InvertedIndex
+
+
+def inverse_row_frequency(gram: str, index: InvertedIndex) -> float:
+    """IRF of *gram* in the column represented by *index*.
+
+    Returns 0.0 for an n-gram that occurs in no row (it carries no evidence).
+    """
+    frequency = index.row_frequency(gram)
+    if frequency == 0:
+        return 0.0
+    return 1.0 / frequency
+
+
+def representative_score(
+    gram: str,
+    source_index: InvertedIndex,
+    target_index: InvertedIndex,
+) -> float:
+    """Rscore of *gram*: the product of its IRFs in the source and target columns.
+
+    N-grams absent from either column score 0.0 — they cannot link a source
+    row to any target row.
+    """
+    source_irf = inverse_row_frequency(gram, source_index)
+    if source_irf == 0.0:
+        return 0.0
+    target_irf = inverse_row_frequency(gram, target_index)
+    if target_irf == 0.0:
+        return 0.0
+    return source_irf * target_irf

@@ -1,0 +1,36 @@
+"""A lightweight relational substrate.
+
+The paper's system operates on pairs of tables whose join columns are
+formatted differently.  This package provides the minimal relational layer
+the rest of the library builds on:
+
+* :class:`~repro.table.table.Table` / :class:`~repro.table.table.Column` —
+  in-memory, column-oriented tables of strings,
+* :mod:`repro.table.ops` — selection, projection, equi-join and
+  transformation-join operators,
+* :mod:`repro.table.io` — CSV import/export.
+
+The substrate intentionally mirrors the subset of a relational engine the
+paper depends on (string columns, equi-join) without pulling in pandas, so
+the join semantics used by the experiments are explicit and testable.
+"""
+
+from repro.table.io import read_csv, write_csv
+from repro.table.ops import equi_join, hash_join, project, rename, select
+from repro.table.schema import ColumnSchema, TableSchema
+from repro.table.table import Column, Row, Table
+
+__all__ = [
+    "Column",
+    "ColumnSchema",
+    "Row",
+    "Table",
+    "TableSchema",
+    "equi_join",
+    "hash_join",
+    "project",
+    "read_csv",
+    "rename",
+    "select",
+    "write_csv",
+]

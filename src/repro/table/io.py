@@ -1,0 +1,60 @@
+"""CSV import/export for tables.
+
+The benchmark datasets are materialized as CSV files so experiments can be
+re-run without regenerating data, and so users can drop in their own table
+pairs.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.table.table import Column, Table
+
+
+def read_csv(path: str | Path, *, name: str | None = None) -> Table:
+    """Read a CSV file (with a header row) into a :class:`Table`.
+
+    All cells are read as strings.  Raises ``ValueError`` for an empty file or
+    a file whose rows have inconsistent arity.
+    """
+    path = Path(path)
+    with path.open(newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise ValueError(f"{path} is empty; expected a header row") from None
+        columns: dict[str, list[str]] = {column: [] for column in header}
+        for line_number, row in enumerate(reader, start=2):
+            if len(row) != len(header):
+                raise ValueError(
+                    f"{path}:{line_number}: expected {len(header)} cells, "
+                    f"got {len(row)}"
+                )
+            for column, cell in zip(header, row):
+                columns[column].append(cell)
+    return Table(columns, name=name or path.stem)
+
+
+def write_csv(table: Table, path: str | Path) -> None:
+    """Write *table* to *path* as CSV with a header row."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(table.column_names)
+        for row in table.rows():
+            writer.writerow(row.as_tuple(table.column_names))
+
+
+def read_table_pair(
+    source_path: str | Path,
+    target_path: str | Path,
+) -> tuple[Table, Table]:
+    """Read two CSV files as a (source, target) table pair."""
+    return read_csv(source_path), read_csv(target_path)
+
+
+__all__ = ["read_csv", "write_csv", "read_table_pair", "Column"]

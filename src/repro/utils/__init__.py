@@ -1,0 +1,34 @@
+"""Shared utilities: text helpers, timers, and validation."""
+
+from repro.utils.text import (
+    COMMON_SEPARATORS,
+    all_ngrams,
+    common_substrings,
+    is_separator,
+    normalize_whitespace,
+    split_on_separators,
+    tokenize,
+)
+from repro.utils.timing import StageTimer, Timer
+from repro.utils.validation import (
+    require_non_empty,
+    require_positive,
+    require_range,
+    require_type,
+)
+
+__all__ = [
+    "COMMON_SEPARATORS",
+    "all_ngrams",
+    "common_substrings",
+    "is_separator",
+    "normalize_whitespace",
+    "split_on_separators",
+    "tokenize",
+    "StageTimer",
+    "Timer",
+    "require_non_empty",
+    "require_positive",
+    "require_range",
+    "require_type",
+]

@@ -1,0 +1,41 @@
+"""Argument validation helpers.
+
+The public API validates its inputs eagerly and raises ``ValueError`` or
+``TypeError`` with a descriptive message so user errors fail fast instead of
+surfacing deep inside the discovery pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+def require_type(value: Any, expected: type | tuple[type, ...], name: str) -> None:
+    """Raise ``TypeError`` unless *value* is an instance of *expected*."""
+    if not isinstance(value, expected):
+        expected_name = (
+            expected.__name__
+            if isinstance(expected, type)
+            else " or ".join(t.__name__ for t in expected)
+        )
+        raise TypeError(
+            f"{name} must be {expected_name}, got {type(value).__name__}"
+        )
+
+
+def require_positive(value: float, name: str) -> None:
+    """Raise ``ValueError`` unless *value* is strictly positive."""
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value}")
+
+
+def require_non_empty(value: Any, name: str) -> None:
+    """Raise ``ValueError`` when *value* is empty (len() == 0)."""
+    if len(value) == 0:
+        raise ValueError(f"{name} must not be empty")
+
+
+def require_range(value: float, low: float, high: float, name: str) -> None:
+    """Raise ``ValueError`` unless ``low <= value <= high``."""
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")

@@ -1,0 +1,100 @@
+"""Shared fixtures: the paper's running examples and small benchmark instances."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DiscoveryConfig
+from repro.core.discovery import TransformationDiscovery
+from repro.table.table import Table
+
+
+@pytest.fixture
+def name_initial_pairs() -> list[tuple[str, str]]:
+    """Rows 4-6 style example from Figure 1: 'Last, First' -> 'F Last'."""
+    return [
+        ("Rafiei, Davood", "D Rafiei"),
+        ("Bowling, Michael", "M Bowling"),
+        ("Gosgnach, Simon", "S Gosgnach"),
+        ("Nascimento, Mario", "M Nascimento"),
+        ("Gingrich, Douglas", "D Gingrich"),
+    ]
+
+
+@pytest.fixture
+def name_email_pairs() -> list[tuple[str, str]]:
+    """Figure 2 example: 'last, first' -> 'first.last@ualberta.ca'."""
+    return [
+        ("bowling, michael", "michael.bowling@ualberta.ca"),
+        ("rafiei, davood", "davood.rafiei@ualberta.ca"),
+        ("gosgnach, simon", "simon.gosgnach@ualberta.ca"),
+        ("nascimento, mario", "mario.nascimento@ualberta.ca"),
+    ]
+
+
+@pytest.fixture
+def phone_pairs() -> list[tuple[str, str]]:
+    """Phone formatting example from the introduction."""
+    return [
+        ("(780) 432-3636", "1-780-432-3636"),
+        ("(403) 433-6545", "1-403-433-6545"),
+        ("(587) 428-2108", "1-587-428-2108"),
+        ("(825) 406-4565", "1-825-406-4565"),
+    ]
+
+
+@pytest.fixture
+def mixed_rule_pairs() -> list[tuple[str, str]]:
+    """Input that needs two transformations to be fully covered."""
+    return [
+        ("Rafiei, Davood", "D Rafiei"),
+        ("Bowling, Michael", "M Bowling"),
+        ("Gosgnach, Simon", "S Gosgnach"),
+        ("alpha-beta", "beta/alpha"),
+        ("gamma-delta", "delta/gamma"),
+        ("epsilon-zeta", "zeta/epsilon"),
+    ]
+
+
+@pytest.fixture
+def engine() -> TransformationDiscovery:
+    """A discovery engine with the paper's default configuration."""
+    return TransformationDiscovery(DiscoveryConfig.paper_default())
+
+
+@pytest.fixture
+def staff_tables() -> tuple[Table, Table]:
+    """Two small tables in the style of Figure 1 (right-hand pair)."""
+    source = Table(
+        {
+            "Name": [
+                "Rafiei, Davood",
+                "Nascimento, Mario",
+                "Gingrich, Douglas",
+                "Bowling, Michael",
+                "Gosgnach, Simon",
+            ],
+            "Department": ["CS", "CS", "Physics", "CS", "Physiology"],
+        },
+        name="staff_directory",
+    )
+    target = Table(
+        {
+            "Name": [
+                "D Rafiei",
+                "M Nascimento",
+                "D Gingrich",
+                "M Bowling",
+                "S Gosgnach",
+            ],
+            "Phone": [
+                "(780) 433-6545",
+                "(780) 428-2108",
+                "(780) 406-4565",
+                "(780) 471-0427",
+                "(780) 432-4814",
+            ],
+        },
+        name="white_pages",
+    )
+    return source, target

@@ -1,0 +1,116 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.table.io import read_csv, write_csv
+from repro.table.table import Table
+
+
+@pytest.fixture
+def staff_csvs(tmp_path, staff_tables):
+    source, target = staff_tables
+    source_path = tmp_path / "staff.csv"
+    target_path = tmp_path / "phones.csv"
+    write_csv(source, source_path)
+    write_csv(target, target_path)
+    return source_path, target_path
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_discover_arguments(self):
+        args = build_parser().parse_args(
+            [
+                "discover",
+                "a.csv",
+                "b.csv",
+                "--source-column",
+                "Name",
+                "--target-column",
+                "Name",
+                "--max-placeholders",
+                "4",
+            ]
+        )
+        assert args.command == "discover"
+        assert args.max_placeholders == 4
+
+    def test_benchmark_rejects_unknown_dataset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["benchmark", "not-a-dataset", "--output-dir", "out"]
+            )
+
+
+class TestDiscoverCommand:
+    def test_prints_covering_set(self, staff_csvs, capsys):
+        source_path, target_path = staff_csvs
+        exit_code = main(
+            [
+                "discover",
+                str(source_path),
+                str(target_path),
+                "--source-column",
+                "Name",
+                "--target-column",
+                "Name",
+            ]
+        )
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "covering set:" in captured
+        assert "Split" in captured
+
+
+class TestJoinCommand:
+    def test_writes_joined_csv(self, staff_csvs, tmp_path, capsys):
+        source_path, target_path = staff_csvs
+        output = tmp_path / "joined.csv"
+        exit_code = main(
+            [
+                "join",
+                str(source_path),
+                str(target_path),
+                "--source-column",
+                "Name",
+                "--target-column",
+                "Name",
+                "--output",
+                str(output),
+                "--min-support",
+                "0.0",
+            ]
+        )
+        assert exit_code == 0
+        joined = read_csv(output)
+        assert joined.num_rows >= 5
+        assert "Name_source" in joined and "Phone_target" in joined
+        assert "joined rows" in capsys.readouterr().out
+
+
+class TestBenchmarkCommand:
+    def test_materializes_dataset(self, tmp_path, capsys):
+        exit_code = main(
+            [
+                "benchmark",
+                "synth-50",
+                "--output-dir",
+                str(tmp_path / "out"),
+                "--scale",
+                "0.1",
+                "--seed",
+                "1",
+            ]
+        )
+        assert exit_code == 0
+        written = list((tmp_path / "out").glob("*.csv"))
+        assert len(written) == 3  # source, target, golden for one table
+        table = read_csv(written[0])
+        assert isinstance(table, Table)
+        assert "wrote" in capsys.readouterr().out

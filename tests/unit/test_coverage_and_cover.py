@@ -1,0 +1,188 @@
+"""Unit tests for coverage computation, pruning, and cover selection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cover import (
+    cover_fraction,
+    covered_rows,
+    greedy_minimal_cover,
+    top_k_by_coverage,
+)
+from repro.core.coverage import CoverageComputer, CoverageResult
+from repro.core.pairs import pairs_from_strings
+from repro.core.transformation import Transformation
+from repro.core.units import Literal, Split, SplitSubstr, Substr
+
+
+@pytest.fixture
+def name_pairs():
+    return pairs_from_strings(
+        [
+            ("Rafiei, Davood", "D Rafiei"),
+            ("Bowling, Michael", "M Bowling"),
+            ("Gosgnach, Simon", "S Gosgnach"),
+        ]
+    )
+
+
+@pytest.fixture
+def paper_transformation():
+    return Transformation([SplitSubstr(" ", 2, 0, 1), Literal(" "), Split(",", 1)])
+
+
+class TestCoverageComputer:
+    def test_full_coverage(self, name_pairs, paper_transformation):
+        computer = CoverageComputer(name_pairs)
+        result = computer.coverage_of(paper_transformation)
+        assert result.covered_rows == frozenset({0, 1, 2})
+        assert result.coverage == 3
+        assert result.coverage_fraction(3) == 1.0
+
+    def test_partial_coverage(self, name_pairs):
+        transformation = Transformation([Literal("D "), Split(",", 1)])
+        computer = CoverageComputer(name_pairs)
+        result = computer.coverage_of(transformation)
+        assert result.covered_rows == frozenset({0})
+
+    def test_zero_coverage(self, name_pairs):
+        transformation = Transformation([Literal("no such value")])
+        computer = CoverageComputer(name_pairs)
+        assert computer.coverage_of(transformation).coverage == 0
+
+    def test_coverage_fraction_of_empty_input(self):
+        result = CoverageResult(Transformation([Literal("x")]), frozenset())
+        assert result.coverage_fraction(0) == 0.0
+
+    def test_batch_matches_individual(self, name_pairs, paper_transformation):
+        other = Transformation([Literal("D "), Split(",", 1)])
+        computer = CoverageComputer(name_pairs)
+        batch = computer.coverage_of_all([paper_transformation, other])
+        assert batch[0].covered_rows == frozenset({0, 1, 2})
+        assert batch[1].covered_rows == frozenset({0})
+
+
+class TestUnitCache:
+    def test_cache_hits_accumulate_for_repeated_bad_units(self, name_pairs):
+        bad_unit = Literal("zzz")
+        transformations = [
+            Transformation([bad_unit, Substr(0, 1)]),
+            Transformation([bad_unit, Substr(0, 2)]),
+            Transformation([bad_unit, Substr(0, 3)]),
+        ]
+        computer = CoverageComputer(name_pairs, use_unit_cache=True)
+        for transformation in transformations:
+            computer.coverage_of(transformation)
+        # First transformation misses on every row (3 misses) and records the
+        # bad unit; the other two hit the cache for every row.
+        assert computer.stats.cache_hits == 6
+        assert computer.stats.cache_misses == 3
+
+    def test_cache_does_not_change_results(self, name_pairs, paper_transformation):
+        transformations = [
+            paper_transformation,
+            Transformation([Literal("D "), Split(",", 1)]),
+            Transformation([Literal("zzz"), Split(",", 1)]),
+            Transformation([Split(",", 2), Literal(" "), Split(",", 1)]),
+        ]
+        cached = CoverageComputer(name_pairs, use_unit_cache=True)
+        uncached = CoverageComputer(name_pairs, use_unit_cache=False)
+        for transformation in transformations:
+            assert (
+                cached.coverage_of(transformation).covered_rows
+                == uncached.coverage_of(transformation).covered_rows
+            )
+
+    def test_cache_disabled_never_hits(self, name_pairs):
+        computer = CoverageComputer(name_pairs, use_unit_cache=False)
+        transformation = Transformation([Literal("zzz")])
+        computer.coverage_of(transformation)
+        computer.coverage_of(transformation)
+        assert computer.stats.cache_hits == 0
+
+    def test_reset_cache(self, name_pairs):
+        computer = CoverageComputer(name_pairs, use_unit_cache=True)
+        transformation = Transformation([Literal("zzz")])
+        computer.coverage_of(transformation)
+        computer.reset_cache()
+        computer.coverage_of(transformation)
+        # After the reset the second pass misses again instead of hitting.
+        assert computer.stats.cache_hits == 0
+        assert computer.stats.cache_misses == 6
+
+
+class TestTopK:
+    def test_orders_by_coverage(self):
+        t_small = CoverageResult(Transformation([Literal("a")]), frozenset({0}))
+        t_large = CoverageResult(Transformation([Literal("b")]), frozenset({0, 1, 2}))
+        assert top_k_by_coverage([t_small, t_large], 1)[0] is t_large
+
+    def test_tie_broken_by_length(self):
+        short = CoverageResult(Transformation([Substr(0, 1)]), frozenset({0, 1}))
+        long = CoverageResult(
+            Transformation([Substr(0, 1), Literal("x"), Substr(1, 2)]),
+            frozenset({2, 3}),
+        )
+        assert top_k_by_coverage([long, short], 1)[0] is short
+
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            top_k_by_coverage([], 0)
+
+
+class TestGreedyCover:
+    def make_result(self, rows, label):
+        return CoverageResult(Transformation([Literal(label)]), frozenset(rows))
+
+    def test_selects_minimal_set(self):
+        a = self.make_result({0, 1, 2}, "a")
+        b = self.make_result({3, 4}, "b")
+        c = self.make_result({0, 1}, "c")
+        cover = greedy_minimal_cover([c, b, a])
+        assert [r.transformation for r in cover] == [
+            a.transformation,
+            b.transformation,
+        ]
+
+    def test_respects_min_support(self):
+        a = self.make_result({0, 1, 2}, "a")
+        b = self.make_result({3}, "b")
+        cover = greedy_minimal_cover([a, b], min_support=2)
+        assert [r.transformation for r in cover] == [a.transformation]
+
+    def test_max_transformations_bound(self):
+        results = [self.make_result({i}, str(i)) for i in range(5)]
+        cover = greedy_minimal_cover(results, max_transformations=2)
+        assert len(cover) == 2
+
+    def test_no_progress_stops(self):
+        a = self.make_result({0, 1}, "a")
+        duplicate = self.make_result({0, 1}, "b")
+        cover = greedy_minimal_cover([a, duplicate])
+        assert len(cover) == 1
+
+    def test_greedy_approximation_on_classic_instance(self):
+        """Greedy picks the big set first even when pairs of sets also cover."""
+        big = self.make_result({0, 1, 2, 3}, "big")
+        left = self.make_result({0, 1, 4}, "left")
+        right = self.make_result({2, 3, 5}, "right")
+        cover = greedy_minimal_cover([left, right, big])
+        assert cover[0].transformation == big.transformation
+        assert covered_rows(cover) == frozenset(range(6))
+
+    def test_min_support_validation(self):
+        with pytest.raises(ValueError):
+            greedy_minimal_cover([], min_support=0)
+
+
+class TestCoverHelpers:
+    def test_covered_rows_union(self):
+        a = CoverageResult(Transformation([Literal("a")]), frozenset({0, 1}))
+        b = CoverageResult(Transformation([Literal("b")]), frozenset({1, 2}))
+        assert covered_rows([a, b]) == frozenset({0, 1, 2})
+
+    def test_cover_fraction(self):
+        a = CoverageResult(Transformation([Literal("a")]), frozenset({0, 1}))
+        assert cover_fraction([a], 4) == 0.5
+        assert cover_fraction([], 0) == 0.0

@@ -1,0 +1,187 @@
+"""Unit tests for the row-matching substrate (repro.matching)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.pairs import RowPair
+from repro.matching.index import InvertedIndex
+from repro.matching.ngrams import character_ngrams, ngrams_in_range, unique_ngrams
+from repro.matching.row_matcher import (
+    GoldenRowMatcher,
+    MatchingConfig,
+    NGramRowMatcher,
+    choose_source_column,
+)
+from repro.matching.scoring import inverse_row_frequency, representative_score
+from repro.table.table import Table
+
+
+class TestNgrams:
+    def test_character_ngrams(self):
+        assert character_ngrams("abcd", 2) == ["ab", "bc", "cd"]
+
+    def test_lowercasing(self):
+        assert character_ngrams("AbC", 2) == ["ab", "bc"]
+        assert character_ngrams("AbC", 2, lowercase=False) == ["Ab", "bC"]
+
+    def test_short_text(self):
+        assert character_ngrams("ab", 4) == []
+
+    def test_unique_ngrams(self):
+        assert unique_ngrams("aaaa", 2) == {"aa"}
+
+    def test_ngrams_in_range(self):
+        grams = list(ngrams_in_range("abcd", 2, 3))
+        assert "ab" in grams and "abc" in grams and "abcd" not in grams
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            character_ngrams("abc", 0)
+        with pytest.raises(ValueError):
+            list(ngrams_in_range("abc", 3, 2))
+
+
+class TestInvertedIndex:
+    def test_build_and_lookup(self):
+        index = InvertedIndex.build(["hello world", "hello there"], min_size=4, max_size=6)
+        assert index.num_rows == 2
+        assert index.rows_containing("hello") == frozenset({0, 1})
+        assert index.rows_containing("world") == frozenset({0})
+        assert index.rows_containing("zzzz") == frozenset()
+
+    def test_row_frequency(self):
+        index = InvertedIndex.build(["abcd", "abce", "abxx"], min_size=2, max_size=3)
+        assert index.row_frequency("ab") == 3
+        assert index.row_frequency("abc") == 2
+        assert index.row_frequency("zz") == 0
+
+    def test_case_insensitive_by_default(self):
+        index = InvertedIndex.build(["Hello"], min_size=4, max_size=5)
+        assert index.rows_containing("HELLO") == frozenset({0})
+
+    def test_contains(self):
+        index = InvertedIndex.build(["abcd"], min_size=2, max_size=2)
+        assert "ab" in index
+        assert "zz" not in index
+        assert 42 not in index
+
+    def test_num_ngrams_counts_distinct(self):
+        index = InvertedIndex.build(["aaaa"], min_size=2, max_size=2)
+        assert index.num_ngrams == 1
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            InvertedIndex(min_size=0, max_size=3)
+        with pytest.raises(ValueError):
+            InvertedIndex(min_size=4, max_size=2)
+
+
+class TestScoring:
+    def test_irf_is_inverse_of_row_count(self):
+        index = InvertedIndex.build(["abcd", "abce", "abcf", "xyzw"], min_size=3, max_size=4)
+        assert inverse_row_frequency("abc", index) == pytest.approx(1 / 3)
+        assert inverse_row_frequency("xyzw", index) == 1.0
+        assert inverse_row_frequency("none", index) == 0.0
+
+    def test_rscore_product(self):
+        source = InvertedIndex.build(["abcd", "abce"], min_size=3, max_size=4)
+        target = InvertedIndex.build(["abcd", "qqqq"], min_size=3, max_size=4)
+        assert representative_score("abcd", source, target) == pytest.approx(1.0)
+        assert representative_score("abc", source, target) == pytest.approx(0.5)
+        assert representative_score("qqqq", source, target) == 0.0
+
+    def test_rare_ngrams_score_higher(self):
+        rows = ["university of alberta " + suffix for suffix in ["aa", "bb", "cc"]]
+        source = InvertedIndex.build(rows, min_size=2, max_size=4)
+        target = InvertedIndex.build(rows, min_size=2, max_size=4)
+        common = representative_score("university"[:4], source, target)
+        rare = representative_score("aa", source, target)
+        assert rare > common
+
+
+class TestMatchingConfig:
+    def test_defaults_follow_paper(self):
+        config = MatchingConfig()
+        assert config.min_ngram == 4
+        assert config.max_ngram == 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MatchingConfig(min_ngram=0)
+        with pytest.raises(ValueError):
+            MatchingConfig(min_ngram=5, max_ngram=4)
+        with pytest.raises(ValueError):
+            MatchingConfig(max_candidates_per_row=-1)
+
+
+class TestNGramRowMatcher:
+    def test_matches_reformatted_names(self, staff_tables):
+        source, target = staff_tables
+        matcher = NGramRowMatcher()
+        pairs = matcher.match(
+            source, target, source_column="Name", target_column="Name"
+        )
+        found = {(p.source_row, p.target_row) for p in pairs}
+        expected = {(i, i) for i in range(source.num_rows)}
+        assert expected <= found
+
+    def test_returns_row_pair_objects_with_text(self, staff_tables):
+        source, target = staff_tables
+        pairs = NGramRowMatcher().match(
+            source, target, source_column="Name", target_column="Name"
+        )
+        for pair in pairs:
+            assert isinstance(pair, RowPair)
+            assert pair.source == source["Name"][pair.source_row]
+            assert pair.target == target["Name"][pair.target_row]
+
+    def test_no_duplicates(self, staff_tables):
+        source, target = staff_tables
+        pairs = NGramRowMatcher().match(
+            source, target, source_column="Name", target_column="Name"
+        )
+        keys = [(p.source_row, p.target_row) for p in pairs]
+        assert len(keys) == len(set(keys))
+
+    def test_candidate_cap(self):
+        source_values = ["common text alpha", "common text beta"]
+        target_values = ["common text one", "common text two", "common text three"]
+        capped = NGramRowMatcher(MatchingConfig(min_ngram=4, max_ngram=6, max_candidates_per_row=1))
+        pairs = capped.match_values(source_values, target_values)
+        per_source: dict[int, int] = {}
+        for pair in pairs:
+            per_source[pair.source_row] = per_source.get(pair.source_row, 0) + 1
+        assert all(count <= 1 for count in per_source.values())
+
+    def test_disjoint_columns_produce_no_pairs(self):
+        pairs = NGramRowMatcher(MatchingConfig(min_ngram=4, max_ngram=8)).match_values(
+            ["aaaaaa", "bbbbbb"], ["cccccc", "dddddd"]
+        )
+        assert pairs == []
+
+
+class TestGoldenRowMatcher:
+    def test_replays_ground_truth(self, staff_tables):
+        source, target = staff_tables
+        golden = [(i, i) for i in range(source.num_rows)]
+        pairs = GoldenRowMatcher(golden).match(
+            source, target, source_column="Name", target_column="Name"
+        )
+        assert [(p.source_row, p.target_row) for p in pairs] == golden
+        assert pairs[0].source == "Rafiei, Davood"
+
+    def test_out_of_range_pair_rejected(self, staff_tables):
+        source, target = staff_tables
+        with pytest.raises(IndexError):
+            GoldenRowMatcher([(99, 0)]).match(
+                source, target, source_column="Name", target_column="Name"
+            )
+
+
+class TestChooseSourceColumn:
+    def test_longer_column_is_source(self):
+        long = Table({"c": ["a very long description here"]})
+        short = Table({"c": ["short"]})
+        assert choose_source_column(long, short, "c", "c") is True
+        assert choose_source_column(short, long, "c", "c") is False

@@ -1,0 +1,134 @@
+"""Unit tests for placeholder extraction (repro.core.placeholders)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.placeholders import Placeholder, PlaceholderExtractor, find_occurrences
+
+
+class TestFindOccurrences:
+    def test_finds_all_positions(self):
+        assert find_occurrences("abcabcabc", "abc") == (0, 3, 6)
+
+    def test_overlapping_occurrences(self):
+        assert find_occurrences("aaaa", "aa") == (0, 1, 2)
+
+    def test_limit_caps_results(self):
+        assert find_occurrences("aaaa", "a", limit=2) == (0, 1)
+
+    def test_absent_needle(self):
+        assert find_occurrences("abc", "x") == ()
+
+
+class TestPlaceholderDataclass:
+    def test_span_must_match_text_length(self):
+        with pytest.raises(ValueError):
+            Placeholder(text="ab", target_start=0, target_end=3, source_matches=(0,))
+
+    def test_empty_text_rejected(self):
+        with pytest.raises(ValueError):
+            Placeholder(text="", target_start=0, target_end=0, source_matches=())
+
+    def test_length(self):
+        placeholder = Placeholder(
+            text="abc", target_start=2, target_end=5, source_matches=(0,)
+        )
+        assert placeholder.length == 3
+
+
+class TestMaximalPlaceholders:
+    def test_paper_email_example(self):
+        extractor = PlaceholderExtractor()
+        placeholders = extractor.maximal_placeholders(
+            "bowling, michael", "michael.bowling@ualberta.ca"
+        )
+        texts = [p.text for p in placeholders]
+        assert "michael" in texts
+        assert "bowling" in texts
+
+    def test_placeholders_tile_target_without_overlap(self):
+        extractor = PlaceholderExtractor()
+        source = "Victor Robbie Kasumba"
+        target = "Victor R. Kasumba"
+        placeholders = extractor.maximal_placeholders(source, target)
+        spans = [(p.target_start, p.target_end) for p in placeholders]
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert start >= end
+
+    def test_maximal_segmentation_of_paper_skeleton_example(self):
+        # "Victor R" is a maximal block ("Victor R" occurs in
+        # "Victor Robbie Kasumba" but "Victor R." does not).
+        extractor = PlaceholderExtractor()
+        placeholders = extractor.maximal_placeholders(
+            "Victor Robbie Kasumba", "Victor R. Kasumba"
+        )
+        texts = [p.text for p in placeholders]
+        assert texts[0] == "Victor R"
+        assert any("Kasumba" in text for text in texts)
+
+    def test_no_common_text_yields_no_placeholders(self):
+        extractor = PlaceholderExtractor()
+        assert extractor.maximal_placeholders("abc", "xyz") == []
+
+    def test_min_length_filters_short_blocks(self):
+        extractor = PlaceholderExtractor(min_length=3)
+        placeholders = extractor.maximal_placeholders("ab cdef", "ab cdef!")
+        texts = [p.text for p in placeholders]
+        assert texts == ["ab cdef"]
+        extractor_strict = PlaceholderExtractor(min_length=8)
+        assert extractor_strict.maximal_placeholders("ab cdef", "ab!") == []
+
+    def test_source_matches_recorded(self):
+        extractor = PlaceholderExtractor()
+        placeholders = extractor.maximal_placeholders("xxabcxx", "abc")
+        assert placeholders[0].source_matches == (2,)
+
+    def test_max_matches_cap(self):
+        extractor = PlaceholderExtractor(max_matches=1)
+        placeholders = extractor.maximal_placeholders("ababab", "ab")
+        assert placeholders[0].source_matches == (0,)
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            PlaceholderExtractor(min_length=0)
+        with pytest.raises(ValueError):
+            PlaceholderExtractor(max_matches=0)
+
+
+class TestSeparatorSplitting:
+    def test_split_on_space(self):
+        extractor = PlaceholderExtractor()
+        source = "Victor Robbie Kasumba"
+        [parent] = [
+            p
+            for p in extractor.maximal_placeholders(source, "Victor R. Kasumba")
+            if p.text == "Victor R"
+        ]
+        pieces = extractor.split_placeholder(parent, source)
+        assert [p.text for p in pieces] == ["Victor", "R"]
+
+    def test_split_preserves_target_positions(self):
+        extractor = PlaceholderExtractor()
+        source = "aaa bbb"
+        parent = extractor.maximal_placeholders(source, "aaa bbb")[0]
+        pieces = extractor.split_placeholder(parent, source)
+        assert [(p.target_start, p.target_end) for p in pieces] == [(0, 3), (4, 7)]
+
+    def test_nothing_to_split_returns_original(self):
+        extractor = PlaceholderExtractor()
+        source = "abcdef"
+        parent = extractor.maximal_placeholders(source, "abcdef")[0]
+        assert extractor.split_placeholder(parent, source) == [parent]
+
+    def test_extract_reports_both_sets(self):
+        extractor = PlaceholderExtractor()
+        result = extractor.extract("Victor Robbie Kasumba", "Victor R. Kasumba")
+        assert "maximal" in result
+        assert "split" in result
+        assert len(result["split"]) > len(result["maximal"]) - 1
+
+    def test_extract_without_splitting(self):
+        extractor = PlaceholderExtractor(split_on_separators=False)
+        result = extractor.extract("Victor Robbie Kasumba", "Victor R. Kasumba")
+        assert "split" not in result

@@ -1,0 +1,132 @@
+"""Unit tests for transformation transfer and case-insensitive discovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DiscoveryConfig
+from repro.core.discovery import TransformationDiscovery
+from repro.core.pairs import pairs_from_strings
+from repro.core.transfer import TransformationTransfer
+from repro.core.transformation import Transformation
+from repro.core.units import Literal, Split, SplitSubstr
+from repro.join.joiner import TransformationJoiner
+from repro.join.pipeline import JoinPipeline
+from repro.table.table import Table
+
+
+@pytest.fixture
+def initial_rule() -> Transformation:
+    return Transformation([SplitSubstr(" ", 2, 0, 1), Literal(" "), Split(",", 1)])
+
+
+class TestTransformationTransfer:
+    def test_transfer_covers_new_dataset_without_rediscovery(self, initial_rule):
+        new_pairs = pairs_from_strings(
+            [
+                ("Keller, Fatima", "F Keller"),
+                ("Watson, Henry", "H Watson"),
+                ("Novak, Priya", "P Novak"),
+            ]
+        )
+        transfer = TransformationTransfer([initial_rule])
+        result = transfer.transfer(new_pairs, discover_remaining=False)
+        assert result.transferred_coverage == 1.0
+        assert result.cover_coverage == 1.0
+        assert result.transformations == [initial_rule]
+        assert result.fresh_discovery is None
+
+    def test_uncovered_rows_trigger_fresh_discovery(self, initial_rule):
+        new_pairs = pairs_from_strings(
+            [
+                ("Keller, Fatima", "F Keller"),
+                ("Watson, Henry", "H Watson"),
+                ("alpha-beta", "beta/alpha"),
+                ("gamma-delta", "delta/gamma"),
+            ]
+        )
+        transfer = TransformationTransfer([initial_rule])
+        result = transfer.transfer(new_pairs)
+        assert result.transferred_coverage == pytest.approx(0.5)
+        assert result.cover_coverage == 1.0
+        assert result.fresh_discovery is not None
+        assert len(result.discovered) >= 1
+
+    def test_unsupported_transformations_are_dropped(self, initial_rule):
+        unrelated = Transformation([Split("|", 1)])
+        new_pairs = pairs_from_strings([("Keller, Fatima", "F Keller")] * 3)
+        transfer = TransformationTransfer([initial_rule, unrelated])
+        result = transfer.transfer(new_pairs, discover_remaining=False)
+        assert result.transformations == [initial_rule]
+
+    def test_min_support_validation(self):
+        with pytest.raises(ValueError):
+            TransformationTransfer([], min_support=0)
+
+    def test_empty_input(self, initial_rule):
+        result = TransformationTransfer([initial_rule]).transfer([])
+        assert result.cover_coverage == 0.0
+        assert result.transformations == []
+
+    def test_transfer_is_consistent_with_scratch_discovery(self):
+        """Transfer + gap discovery covers as much as discovery from scratch."""
+        old_pairs = [
+            ("Rafiei, Davood", "D Rafiei"),
+            ("Bowling, Michael", "M Bowling"),
+            ("Gosgnach, Simon", "S Gosgnach"),
+        ]
+        new_pairs = [
+            ("Keller, Fatima", "F Keller"),
+            ("Watson, Henry", "H Watson"),
+            ("alpha-beta", "beta/alpha"),
+            ("gamma-delta", "delta/gamma"),
+        ]
+        engine = TransformationDiscovery()
+        learned = engine.discover_from_strings(old_pairs)
+        transfer = TransformationTransfer(learned.transformations)
+        transferred = transfer.transfer(pairs_from_strings(new_pairs))
+        scratch = engine.discover_from_strings(new_pairs)
+        assert transferred.cover_coverage >= scratch.cover_coverage - 1e-9
+
+
+class TestCaseInsensitiveDiscovery:
+    def test_mixed_case_email_mapping_is_learned(self):
+        pairs = [
+            ("Bowling, Michael", "michael.bowling@ualberta.ca"),
+            ("Rafiei, Davood", "davood.rafiei@ualberta.ca"),
+            ("Gosgnach, Simon", "simon.gosgnach@ualberta.ca"),
+        ]
+        case_sensitive = TransformationDiscovery().discover_from_strings(pairs)
+        case_insensitive = TransformationDiscovery(
+            DiscoveryConfig(case_insensitive=True)
+        ).discover_from_strings(pairs)
+        assert case_insensitive.top_coverage == 1.0
+        assert case_insensitive.top_coverage > case_sensitive.top_coverage
+
+    def test_joiner_case_insensitive_mode(self):
+        rule = Transformation([Split(",", 1)])
+        joiner = TransformationJoiner([rule], case_insensitive=True)
+        result = joiner.join_values(["BOWLING, Michael"], ["bowling"])
+        assert result.as_set() == {(0, 0)}
+
+    def test_pipeline_wires_case_insensitivity_through(self):
+        source = Table(
+            {"Name": ["Bowling, Michael", "Rafiei, Davood", "Gosgnach, Simon"]}
+        )
+        target = Table(
+            {
+                "Email": [
+                    "michael.bowling@ualberta.ca",
+                    "davood.rafiei@ualberta.ca",
+                    "simon.gosgnach@ualberta.ca",
+                ]
+            }
+        )
+        pipeline = JoinPipeline(
+            discovery_config=DiscoveryConfig(case_insensitive=True),
+            min_support=0.0,
+        )
+        outcome = pipeline.run(
+            source, target, source_column="Name", target_column="Email"
+        )
+        assert {(i, i) for i in range(3)} <= outcome.joined_pairs

@@ -1,0 +1,134 @@
+"""Unit tests for per-placeholder candidate-unit generation."""
+
+from __future__ import annotations
+
+from repro.core.config import DiscoveryConfig
+from repro.core.placeholders import Placeholder, PlaceholderExtractor
+from repro.core.unit_generation import UnitGenerator
+from repro.core.units import Literal, Split, SplitSubstr, Substr, TwoCharSplitSubstr
+
+
+def make_placeholder(source: str, text: str) -> Placeholder:
+    """Build a placeholder for *text* located in *source* (and in the target)."""
+    start = source.find(text)
+    assert start != -1, f"{text!r} must occur in {source!r}"
+    return Placeholder(
+        text=text,
+        target_start=0,
+        target_end=len(text),
+        source_matches=(start,),
+    )
+
+
+class TestCandidateCorrectness:
+    def test_every_candidate_emits_the_placeholder_text(self):
+        generator = UnitGenerator()
+        source = "prus-czarnecki, andrzej"
+        for text in ["prus-czarnecki", "andrzej", "a", "czarnecki"]:
+            placeholder = make_placeholder(source, text)
+            for unit in generator.candidates(source, placeholder):
+                assert unit.apply(source) == text
+
+    def test_literal_always_included(self):
+        generator = UnitGenerator()
+        source = "abcdef"
+        placeholder = make_placeholder(source, "cd")
+        candidates = generator.candidates(source, placeholder)
+        assert Literal("cd") in candidates
+
+    def test_substr_candidate_generated(self):
+        generator = UnitGenerator()
+        source = "abcdef"
+        placeholder = make_placeholder(source, "cde")
+        candidates = generator.candidates(source, placeholder)
+        assert Substr(2, 5) in candidates
+
+    def test_split_candidate_for_adjacent_delimiter(self):
+        generator = UnitGenerator()
+        source = "first,second"
+        placeholder = make_placeholder(source, "second")
+        candidates = generator.candidates(source, placeholder)
+        assert Split(",", 2) in candidates
+
+    def test_split_substr_candidate_inside_piece(self):
+        generator = UnitGenerator()
+        source = "bowling, michael"
+        placeholder = make_placeholder(source, "m")
+        candidates = generator.candidates(source, placeholder)
+        assert SplitSubstr(" ", 2, 0, 1) in candidates
+
+    def test_no_duplicates(self):
+        generator = UnitGenerator()
+        source = "aa bb aa"
+        placeholder = Placeholder(
+            text="aa", target_start=0, target_end=2, source_matches=(0, 6)
+        )
+        candidates = generator.candidates(source, placeholder)
+        assert len(candidates) == len(set(candidates))
+
+
+class TestConfigurationEffects:
+    def test_disabled_units_are_not_generated(self):
+        config = DiscoveryConfig(enabled_units=("Literal", "Substr"))
+        generator = UnitGenerator(config)
+        source = "first,second"
+        placeholder = make_placeholder(source, "second")
+        candidates = generator.candidates(source, placeholder)
+        assert all(isinstance(u, (Literal, Substr)) for u in candidates)
+
+    def test_two_char_split_substr_generated_when_enabled(self):
+        config = DiscoveryConfig(
+            enabled_units=(
+                "Literal",
+                "Substr",
+                "Split",
+                "SplitSubstr",
+                "TwoCharSplitSubstr",
+            )
+        )
+        generator = UnitGenerator(config)
+        source = "alpha,beta;gamma"
+        placeholder = make_placeholder(source, "beta")
+        candidates = generator.candidates(source, placeholder)
+        assert any(isinstance(u, TwoCharSplitSubstr) for u in candidates)
+        for unit in candidates:
+            assert unit.apply(source) == "beta"
+
+    def test_match_cap_limits_substr_candidates(self):
+        config = DiscoveryConfig(max_matches_per_placeholder=1)
+        generator = UnitGenerator(config)
+        source = "ab ab ab"
+        placeholder = Placeholder(
+            text="ab", target_start=0, target_end=2, source_matches=(0, 3, 6)
+        )
+        candidates = generator.candidates(source, placeholder)
+        substrs = [u for u in candidates if isinstance(u, Substr)]
+        assert substrs == [Substr(0, 2)]
+
+
+class TestGeneralization:
+    def test_candidates_generalize_to_same_layout_rows(self):
+        """A Split/SplitSubstr learned on one row applies to similar rows."""
+        generator = UnitGenerator()
+        source = "Rafiei, Davood"
+        placeholder = make_placeholder(source, "Rafiei")
+        candidates = generator.candidates(source, placeholder)
+        split_like = [
+            u for u in candidates if isinstance(u, (Split, SplitSubstr))
+        ]
+        assert split_like, "expected at least one split-based candidate"
+        # At least one split-based candidate (Split(',', 1)) carries over to a
+        # row with the same layout but different token lengths.
+        assert any(u.apply("Bowling, Michael") == "Bowling" for u in split_like)
+
+    def test_extractor_and_generator_integration(self):
+        """Units generated from extracted placeholders rebuild the target."""
+        extractor = PlaceholderExtractor()
+        generator = UnitGenerator()
+        source, target = "Rafiei, Davood", "D Rafiei"
+        placeholders = extractor.maximal_placeholders(source, target)
+        for placeholder in placeholders:
+            candidates = generator.candidates(source, placeholder)
+            assert candidates
+            for unit in candidates:
+                assert unit.apply(source) == placeholder.text

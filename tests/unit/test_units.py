@@ -1,0 +1,193 @@
+"""Unit tests for the transformation units (repro.core.units)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.units import (
+    UNIT_CLASSES,
+    UNIT_NAMES,
+    Literal,
+    Split,
+    SplitSubstr,
+    Substr,
+    TwoCharSplitSubstr,
+)
+
+
+class TestLiteral:
+    def test_returns_text_regardless_of_input(self):
+        unit = Literal("abc")
+        assert unit.apply("anything") == "abc"
+        assert unit.apply("") == "abc"
+
+    def test_is_constant(self):
+        assert Literal("x").is_constant is True
+
+    def test_empty_literal_is_allowed(self):
+        assert Literal("").apply("input") == ""
+
+    def test_equality_and_hash(self):
+        assert Literal("a") == Literal("a")
+        assert Literal("a") != Literal("b")
+        assert hash(Literal("a")) == hash(Literal("a"))
+
+    def test_describe(self):
+        assert Literal("x").describe() == "Literal('x')"
+
+
+class TestSubstr:
+    def test_copies_requested_range(self):
+        assert Substr(0, 3).apply("abcdef") == "abc"
+        assert Substr(2, 5).apply("abcdef") == "cde"
+
+    def test_full_string(self):
+        assert Substr(0, 6).apply("abcdef") == "abcdef"
+
+    def test_out_of_range_returns_none(self):
+        assert Substr(0, 7).apply("abcdef") is None
+        assert Substr(4, 10).apply("abc") is None
+
+    def test_not_constant(self):
+        assert Substr(0, 1).is_constant is False
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            Substr(-1, 3)
+        with pytest.raises(ValueError):
+            Substr(3, 3)
+        with pytest.raises(ValueError):
+            Substr(4, 2)
+
+    def test_describe(self):
+        assert Substr(1, 4).describe() == "Substr(1, 4)"
+
+
+class TestSplit:
+    def test_index_is_one_based(self):
+        # Paper example: Split(',', 1) on "prus-czarnecki, andrzej" gives the
+        # first piece.
+        assert Split(",", 1).apply("prus-czarnecki, andrzej") == "prus-czarnecki"
+        assert Split(",", 2).apply("prus-czarnecki, andrzej") == " andrzej"
+
+    def test_missing_delimiter_returns_none(self):
+        assert Split("|", 1).apply("a,b") is None
+
+    def test_index_out_of_range_returns_none(self):
+        assert Split(",", 3).apply("a,b") is None
+
+    def test_consecutive_delimiters_yield_empty_piece(self):
+        assert Split(",", 2).apply("a,,b") == ""
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            Split("", 1)
+        with pytest.raises(ValueError):
+            Split(",", 0)
+
+    def test_describe(self):
+        assert Split(",", 1).describe() == "Split(',', 1)"
+
+
+class TestSplitSubstr:
+    def test_paper_example(self):
+        # SplitSubstr(' ', 2, 0, 1) on "prus-czarnecki, andrzej" selects the
+        # second space-separated piece ("andrzej") and takes its first letter.
+        unit = SplitSubstr(" ", 2, 0, 1)
+        assert unit.apply("prus-czarnecki, andrzej") == "a"
+        assert unit.apply("bowling, michael") == "m"
+        assert unit.apply("gosgnach, simon") == "s"
+
+    def test_substring_relative_to_piece(self):
+        assert SplitSubstr("-", 2, 1, 3).apply("ab-cdef") == "de"
+
+    def test_missing_delimiter_returns_none(self):
+        assert SplitSubstr("|", 1, 0, 1).apply("abc") is None
+
+    def test_piece_too_short_returns_none(self):
+        assert SplitSubstr("-", 1, 0, 5).apply("ab-cdef") is None
+
+    def test_index_out_of_range_returns_none(self):
+        assert SplitSubstr("-", 3, 0, 1).apply("ab-cd") is None
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            SplitSubstr("", 1, 0, 1)
+        with pytest.raises(ValueError):
+            SplitSubstr("-", 0, 0, 1)
+        with pytest.raises(ValueError):
+            SplitSubstr("-", 1, 2, 2)
+
+
+class TestTwoCharSplitSubstr:
+    def test_splits_on_both_delimiters(self):
+        unit = TwoCharSplitSubstr(",", " ", 3, 0, 7)
+        # "bowling, michael" splits on ',' and ' ' into ["bowling", "", "michael"]
+        assert unit.apply("bowling, michael") == "michael"
+
+    def test_requires_at_least_one_delimiter_present(self):
+        assert TwoCharSplitSubstr(",", ";", 1, 0, 1).apply("abc") is None
+
+    def test_single_delimiter_behaves_like_split_substr(self):
+        two = TwoCharSplitSubstr(",", ";", 2, 0, 3)
+        one = SplitSubstr(",", 2, 0, 3)
+        assert two.apply("abc,defg") == one.apply("abc,defg") == "def"
+
+    def test_equal_delimiters_raise(self):
+        with pytest.raises(ValueError):
+            TwoCharSplitSubstr(",", ",", 1, 0, 1)
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            TwoCharSplitSubstr("", ",", 1, 0, 1)
+        with pytest.raises(ValueError):
+            TwoCharSplitSubstr(",", ";", 0, 0, 1)
+        with pytest.raises(ValueError):
+            TwoCharSplitSubstr(",", ";", 1, 3, 3)
+
+
+class TestLemma1Expressiveness:
+    """TwoCharSplitSubstr + SplitSubstr cover Auto-Join's SplitSplitSubstr cases."""
+
+    def test_text_between_two_different_delimiters(self):
+        # Input of shape X c1 Y c2 Z; select Y.
+        source = "alpha,beta;gamma"
+        assert TwoCharSplitSubstr(",", ";", 2, 0, 4).apply(source) == "beta"
+
+    def test_text_before_first_delimiter(self):
+        source = "alpha,beta;gamma"
+        assert SplitSubstr(",", 1, 0, 5).apply(source) == "alpha"
+
+    def test_text_after_second_delimiter(self):
+        source = "alpha,beta;gamma"
+        assert SplitSubstr(";", 2, 0, 5).apply(source) == "gamma"
+
+    def test_text_between_repeated_first_delimiter(self):
+        # Shape X c1 Y c1 Z c2 W; the middle piece is reachable with Split.
+        source = "a,b,c;d"
+        assert Split(",", 2).apply(source) == "b"
+
+
+class TestUnitRegistry:
+    def test_all_units_listed(self):
+        assert set(UNIT_NAMES) == {
+            "Literal",
+            "Substr",
+            "Split",
+            "SplitSubstr",
+            "TwoCharSplitSubstr",
+        }
+
+    def test_classes_match_names(self):
+        for name in UNIT_NAMES:
+            assert UNIT_CLASSES[name].__name__ == name
+
+    def test_units_are_hashable_value_objects(self):
+        units = {
+            Literal("a"),
+            Substr(0, 1),
+            Split(",", 1),
+            SplitSubstr(",", 1, 0, 1),
+            TwoCharSplitSubstr(",", ";", 1, 0, 1),
+        }
+        assert len(units) == 5
