@@ -17,12 +17,23 @@ from repro.core.discovery import TransformationDiscovery
 from repro.datasets.synthetic import SyntheticConfig, generate_table_pair
 from repro.evaluation.report import format_table
 
+# Every configuration pins the one-transformation-at-a-time coverage engine
+# (use_batched_coverage=False) so the ablation isolates the paper's pruning
+# strategies themselves; the trie-batched engine would otherwise only run in
+# the cache-enabled rows and its subtree skipping would be conflated with the
+# cache effect being measured.
 CONFIGURATIONS = {
-    "full pruning": DiscoveryConfig(),
-    "no unit cache": DiscoveryConfig(use_unit_cache=False),
-    "no duplicate removal": DiscoveryConfig(use_duplicate_removal=False),
+    "full pruning": DiscoveryConfig(use_batched_coverage=False),
+    "no unit cache": DiscoveryConfig(
+        use_unit_cache=False, use_batched_coverage=False
+    ),
+    "no duplicate removal": DiscoveryConfig(
+        use_duplicate_removal=False, use_batched_coverage=False
+    ),
     "no pruning at all": DiscoveryConfig(
-        use_unit_cache=False, use_duplicate_removal=False
+        use_unit_cache=False,
+        use_duplicate_removal=False,
+        use_batched_coverage=False,
     ),
 }
 

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from conftest import bench_scale, write_report
 
+from repro.core.config import DiscoveryConfig
 from repro.core.discovery import TransformationDiscovery
 from repro.datasets.synthetic import generate_length_sweep_pair
 from repro.evaluation.report import format_table
@@ -32,7 +33,10 @@ def run_length_point(row_length: int, num_rows: int) -> dict[str, float]:
     pair, _ = generate_length_sweep_pair(
         num_rows=num_rows, row_length=row_length, seed=row_length
     )
-    engine = TransformationDiscovery()
+    # Pin the one-at-a-time coverage engine: the figure reproduces the
+    # paper's per-(transformation, row) cache hit ratio, which the batched
+    # engine tallies differently (whole subtrees at once).
+    engine = TransformationDiscovery(DiscoveryConfig(use_batched_coverage=False))
     result = engine.discover_from_strings(pair.golden_string_pairs())
     return {
         "length": row_length,

@@ -1,25 +1,28 @@
 """Figure 4a — Runtime breakdown as the number of rows grows (vertical growth).
 
-The paper fixes the row length at 28 characters and sweeps the number of rows
-up to 2000, reporting the wall-clock time of each pipeline module (unit
-extraction, placeholder generation, duplicate removal, applying the
-transformations).
+The paper fixes the row length at 28 characters and sweeps the number of rows,
+reporting the wall-clock time of each pipeline module (unit extraction,
+placeholder generation, duplicate removal, applying the transformations).
+This reproduction sweeps the perf harness's synthetic size ladder and also
+times row matching, so the numbers line up with the checked-in
+``BENCH_discovery.json`` trajectory.
 
 Expected shape: applying transformations dominates and grows the fastest with
-the number of rows; the pruning keeps the total curve closer to linear than
-the quadratic worst case.
+the number of rows; the pruning (and the batched coverage engine) keeps the
+total curve closer to linear than the quadratic worst case.
+
+Results are emitted through :class:`repro.perf.BenchmarkRunner`'s JSON writer
+to ``benchmarks/results/BENCH_fig4a_runtime_vs_rows.json``.
 """
 
 from __future__ import annotations
 
-from conftest import bench_scale, write_report
+from conftest import RESULTS_DIR, bench_scale
 
-from repro.core.discovery import TransformationDiscovery
-from repro.datasets.synthetic import SyntheticConfig, generate_table_pair
-from repro.evaluation.report import format_table
+from repro.perf import BenchmarkRunner, validate_payload
 
-#: Row counts swept (the paper goes to 2000; trimmed proportionally to scale).
-FULL_ROW_COUNTS = [50, 100, 200, 400, 800, 1600]
+#: Row counts swept at full scale (the perf harness ladder, trimmed by scale).
+FULL_ROW_COUNTS = [250, 500, 1000, 5000, 10000]
 
 #: Fixed row length for this sweep, as in the paper.
 ROW_LENGTH = 28
@@ -31,50 +34,39 @@ def sweep_rows(scale: float) -> list[int]:
     return FULL_ROW_COUNTS[:count]
 
 
-def run_row_point(num_rows: int) -> dict[str, float]:
-    """One point of the Figure 4a sweep."""
-    config = SyntheticConfig(
-        num_rows=num_rows, min_length=ROW_LENGTH, max_length=ROW_LENGTH, seed=num_rows
-    )
-    pair, _ = generate_table_pair(config)
-    engine = TransformationDiscovery()
-    result = engine.discover_from_strings(pair.golden_string_pairs())
-    stages = result.stats.stage_seconds
-    return {
-        "rows": num_rows,
-        "unit_extraction_s": stages.get("unit_extraction", 0.0),
-        "placeholder_gen_s": stages.get("placeholder_generation", 0.0),
-        "duplicate_removal_s": stages.get("duplicate_removal", 0.0),
-        "applying_trans_s": stages.get("applying_transformations", 0.0),
-        "total_s": result.stats.total_seconds,
-    }
+def run_row_point(runner: BenchmarkRunner, num_rows: int) -> dict:
+    """One point of the Figure 4a sweep (packed engine, matching + discovery)."""
+    record, _, _ = runner.discovery_rung(num_rows, "packed")
+    return record
 
 
 def test_fig4a_runtime_vs_rows(benchmark):
     """Regenerate Figure 4a (runtime breakdown vs number of rows)."""
     scale = bench_scale()
     row_counts = sweep_rows(scale)
-    rows = [run_row_point(count) for count in row_counts]
+    # The sweep drives discovery_rung() per row count below; the runner's
+    # ladder is not consumed, so only the parameters that are get passed.
+    runner = BenchmarkRunner(row_length=ROW_LENGTH, output_dir=RESULTS_DIR)
+    rungs = []
+    for count in row_counts:
+        record = run_row_point(runner, count)
+        rungs.append({"rows": count, "engines": {"packed": record}})
 
-    benchmark(run_row_point, row_counts[0])
+    benchmark(run_row_point, runner, row_counts[0])
 
-    report = format_table(
-        rows,
-        columns=[
-            "rows",
-            "unit_extraction_s",
-            "placeholder_gen_s",
-            "duplicate_removal_s",
-            "applying_trans_s",
-            "total_s",
-        ],
-        title=f"Figure 4a: runtime vs number of rows (length={ROW_LENGTH})",
-        float_format="{:.4f}",
-    )
-    write_report("fig4a_runtime_vs_rows", report)
+    payload = {
+        "benchmark": "fig4a_runtime_vs_rows",
+        "harness": "repro.perf.BenchmarkRunner",
+        "config": {"row_length": ROW_LENGTH, "ladder": row_counts, "scale": scale},
+        "rungs": rungs,
+    }
+    path = runner.write("fig4a_runtime_vs_rows", payload)
+    assert validate_payload(payload) == []
+    assert path.exists()
 
     # Shape: total time increases with the number of rows, and applying the
-    # transformations is the dominant module at the largest size.
-    assert rows[-1]["total_s"] > rows[0]["total_s"]
-    largest = rows[-1]
-    assert largest["applying_trans_s"] >= largest["placeholder_gen_s"]
+    # transformations is the dominant discovery module at the largest size.
+    totals = [rung["engines"]["packed"]["total_s"] for rung in rungs]
+    assert totals[-1] > totals[0]
+    largest = rungs[-1]["engines"]["packed"]["stages"]
+    assert largest["applying_transformations"] >= largest["placeholder_generation"]

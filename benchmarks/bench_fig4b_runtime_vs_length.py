@@ -5,15 +5,16 @@ to 280 characters.  With no pruning the running time would grow cubically in
 the length (l^p with p=3); the pruning strategies keep it far below that, and
 beyond a certain length the duplicate-removal / placeholder-generation stages
 take longer than applying the surviving transformations.
+
+Results are emitted through :class:`repro.perf.BenchmarkRunner`'s JSON writer
+to ``benchmarks/results/BENCH_fig4b_runtime_vs_length.json``.
 """
 
 from __future__ import annotations
 
-from conftest import bench_scale, write_report
+from conftest import RESULTS_DIR, bench_scale
 
-from repro.core.discovery import TransformationDiscovery
-from repro.datasets.synthetic import generate_length_sweep_pair
-from repro.evaluation.report import format_table
+from repro.perf import BenchmarkRunner, validate_payload
 
 FULL_LENGTHS = [20, 60, 100, 140, 180, 220, 260]
 
@@ -24,22 +25,10 @@ def sweep_lengths(scale: float) -> list[int]:
     return FULL_LENGTHS[:count]
 
 
-def run_length_point(row_length: int, num_rows: int) -> dict[str, float]:
-    """One point of the Figure 4b sweep."""
-    pair, _ = generate_length_sweep_pair(
-        num_rows=num_rows, row_length=row_length, seed=1000 + row_length
-    )
-    engine = TransformationDiscovery()
-    result = engine.discover_from_strings(pair.golden_string_pairs())
-    stages = result.stats.stage_seconds
-    return {
-        "length": row_length,
-        "unit_extraction_s": stages.get("unit_extraction", 0.0),
-        "placeholder_gen_s": stages.get("placeholder_generation", 0.0),
-        "duplicate_removal_s": stages.get("duplicate_removal", 0.0),
-        "applying_trans_s": stages.get("applying_transformations", 0.0),
-        "total_s": result.stats.total_seconds,
-    }
+def run_length_point(runner: BenchmarkRunner, row_length: int, num_rows: int) -> dict:
+    """One point of the Figure 4b sweep (packed engine, matching + discovery)."""
+    record, _, _ = runner.discovery_rung(num_rows, "packed", row_length=row_length)
+    return record
 
 
 def test_fig4b_runtime_vs_length(benchmark):
@@ -47,29 +36,33 @@ def test_fig4b_runtime_vs_length(benchmark):
     scale = bench_scale()
     num_rows = max(20, int(round(100 * scale)))
     lengths = sweep_lengths(scale)
-    rows = [run_length_point(length, num_rows) for length in lengths]
+    # The sweep drives discovery_rung() per length below; the runner's ladder
+    # is not consumed, so only the parameters that are get passed.
+    runner = BenchmarkRunner(seed=1000, output_dir=RESULTS_DIR)
+    rungs = []
+    for length in lengths:
+        record = run_length_point(runner, length, num_rows)
+        rungs.append(
+            {"rows": num_rows, "row_length": length, "engines": {"packed": record}}
+        )
 
-    benchmark(run_length_point, lengths[0], num_rows)
+    benchmark(run_length_point, runner, lengths[0], num_rows)
 
-    report = format_table(
-        rows,
-        columns=[
-            "length",
-            "unit_extraction_s",
-            "placeholder_gen_s",
-            "duplicate_removal_s",
-            "applying_trans_s",
-            "total_s",
-        ],
-        title=f"Figure 4b: runtime vs input length (rows={num_rows})",
-        float_format="{:.4f}",
-    )
-    write_report("fig4b_runtime_vs_length", report)
+    payload = {
+        "benchmark": "fig4b_runtime_vs_length",
+        "harness": "repro.perf.BenchmarkRunner",
+        "config": {"num_rows": num_rows, "lengths": lengths, "scale": scale},
+        "rungs": rungs,
+    }
+    path = runner.write("fig4b_runtime_vs_length", payload)
+    assert validate_payload(payload) == []
+    assert path.exists()
 
     # Shape: total time grows with the input length but far slower than the
     # un-pruned cubic bound (doubling the length should not increase the total
     # time by the 8x a cubic growth would imply — allow generous slack).
-    assert rows[-1]["total_s"] > rows[0]["total_s"]
-    length_ratio = rows[-1]["length"] / rows[0]["length"]
-    time_ratio = rows[-1]["total_s"] / max(rows[0]["total_s"], 1e-9)
+    totals = [rung["engines"]["packed"]["total_s"] for rung in rungs]
+    assert totals[-1] > totals[0]
+    length_ratio = lengths[-1] / lengths[0]
+    time_ratio = totals[-1] / max(totals[0], 1e-9)
     assert time_ratio < length_ratio**3

@@ -31,6 +31,10 @@ def run_pruning(dataset_name: str, matching: str, scale: float) -> dict[str, obj
         if dataset_name == "spreadsheet"
         else DiscoveryConfig.paper_default()
     )
+    # Pin the one-at-a-time coverage engine: the table reproduces the paper's
+    # per-(transformation, row) cache hit ratio, which the batched engine
+    # tallies differently (whole subtrees at once).
+    config = config.replace(use_batched_coverage=False)
     engine = TransformationDiscovery(config)
     generated = unique = 0.0
     duplicate_ratio = cache_hit = 0.0

@@ -57,6 +57,13 @@ class DiscoveryConfig:
     use_duplicate_removal / use_unit_cache:
         Toggles for the two pruning strategies of Section 6.6, exposed so the
         ablation benchmarks can disable them.
+    use_batched_coverage:
+        When True (default) and the unit cache is enabled, coverage is
+        computed by the trie-walking batch engine of
+        :meth:`~repro.core.coverage.CoverageComputer.coverage_of_all`, which
+        consults the non-covering-unit cache once per (unit, row) instead of
+        once per (transformation, row).  Covered rows are identical; disable
+        to time the seed's one-transformation-at-a-time path.
     top_k:
         How many of the highest-coverage transformations to report.
     case_insensitive:
@@ -83,6 +90,7 @@ class DiscoveryConfig:
     sample_seed: int = 0
     use_duplicate_removal: bool = True
     use_unit_cache: bool = True
+    use_batched_coverage: bool = True
     top_k: int = 5
     case_insensitive: bool = False
     extra: dict = field(default_factory=dict, compare=False)

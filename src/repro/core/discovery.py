@@ -64,6 +64,16 @@ class DiscoveryResult:
         return self.top[0] if self.top else None
 
     @property
+    def num_candidate_pairs(self) -> int:
+        """Number of candidate pairs coverage was computed over.
+
+        This is the denominator of every coverage fraction in this result;
+        thread it into :class:`~repro.join.joiner.TransformationJoiner` when
+        applying a support threshold.
+        """
+        return len(self.pairs)
+
+    @property
     def top_coverage(self) -> float:
         """Coverage fraction of the best single transformation ("Top Cov.")."""
         if not self.top or not self.pairs:
@@ -166,7 +176,13 @@ class TransformationDiscovery:
             pairs, use_unit_cache=self._config.use_unit_cache, stats=stats
         )
         with timer.stage("applying_transformations"):
-            results = computer.coverage_of_all(transformations)
+            results = computer.coverage_of_all(
+                transformations,
+                batched=(
+                    self._config.use_batched_coverage
+                    and self._config.use_unit_cache
+                ),
+            )
 
         with timer.stage("cover_selection"):
             results = [r for r in results if r.coverage > 0]

@@ -31,8 +31,14 @@ class DiscoveryStats:
         Outcomes of the non-covering-unit cache when applying transformations
         to rows: a hit means a (transformation, row) application was skipped
         because one of its units was already known not to cover the row.
+        Every (transformation, row) application is classified exactly once;
+        the batched coverage engine tallies whole skipped subtrees at once,
+        so the exact split can differ from the one-at-a-time path even
+        though both preserve this meaning.
     applications:
-        Number of full transformation applications actually executed.
+        Number of full transformation applications actually executed (in
+        batched mode: transformations whose every unit applied, i.e. whose
+        concatenated output was fully compared against the target).
     stage_seconds:
         Wall-clock seconds per pipeline stage (placeholder generation, unit
         extraction, duplicate removal, applying transformations, cover

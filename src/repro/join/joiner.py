@@ -8,12 +8,12 @@ maps the source cell to exactly the target cell.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.core.coverage import CoverageResult
 from repro.core.transformation import Transformation
+from repro.matching.index import ValueIndex
 from repro.table.table import Table
 
 
@@ -64,7 +64,11 @@ class TransformationJoiner:
         coverage_results / num_candidate_pairs:
             The discovery-time coverage of each transformation and the number
             of candidate pairs it was computed over, used to evaluate the
-            support threshold.
+            support threshold.  ``num_candidate_pairs`` must be the real pair
+            count from discovery
+            (:attr:`~repro.core.discovery.DiscoveryResult.num_candidate_pairs`);
+            it cannot be inferred from the covered rows — trailing uncovered
+            rows would silently loosen the threshold.
         case_insensitive:
             Lower-case source and target values before applying the
             transformations and comparing.  Use together with
@@ -101,15 +105,18 @@ class TransformationJoiner:
         if min_support <= 0.0 or not coverage_results:
             return transformations
         if not num_candidate_pairs:
-            num_candidate_pairs = max(
-                (max(result.covered_rows, default=0) + 1 for result in coverage_results),
-                default=0,
+            # Guessing the pair count (e.g. as max covered row + 1) undercounts
+            # whenever trailing rows are uncovered, which silently loosens the
+            # support threshold — refuse instead.
+            raise ValueError(
+                "min_support filtering requires num_candidate_pairs (the real "
+                "candidate-pair count from discovery, e.g. "
+                "DiscoveryResult.num_candidate_pairs)"
             )
         supported = {
             result.transformation
             for result in coverage_results
-            if num_candidate_pairs
-            and result.coverage_fraction(num_candidate_pairs) >= min_support
+            if result.coverage_fraction(num_candidate_pairs) >= min_support
         }
         kept = [t for t in transformations if t in supported]
         # Never filter everything away: fall back to the full set so the join
@@ -134,9 +141,9 @@ class TransformationJoiner:
         if self._case_insensitive:
             source_values = [value.lower() for value in source_values]
             target_values = [value.lower() for value in target_values]
-        target_index: dict[str, list[int]] = defaultdict(list)
-        for target_row, value in enumerate(target_values):
-            target_index[value].append(target_row)
+        # The equi-join target map is the packed exact-value index: one build
+        # pass, sorted array('i') postings probed without copying.
+        target_index = ValueIndex.build(target_values)
 
         result = JoinResult()
         seen: set[tuple[int, int]] = set()
@@ -145,7 +152,7 @@ class TransformationJoiner:
                 transformed = transformation.apply(source_value)
                 if transformed is None:
                     continue
-                for target_row in target_index.get(transformed, ()):
+                for target_row in target_index.rows_for(transformed):
                     key = (source_row, target_row)
                     if key in seen:
                         continue

@@ -105,7 +105,7 @@ class JoinPipeline:
             discovery.transformations,
             min_support=self._min_support,
             coverage_results=discovery.cover,
-            num_candidate_pairs=len(candidate_pairs),
+            num_candidate_pairs=discovery.num_candidate_pairs,
             case_insensitive=self._discovery.config.case_insensitive,
         )
         join_result = joiner.join(

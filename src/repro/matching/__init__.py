@@ -5,15 +5,24 @@ Before transformations can be learned, the system needs candidate
 matcher:
 
 * :mod:`repro.matching.ngrams` — character n-gram extraction,
-* :mod:`repro.matching.index` — an inverted index from n-grams to row ids,
+* :mod:`repro.matching.index` — the packed inverted index (sorted-array
+  postings, O(1) row-frequency table, build-time representative n-grams,
+  stop-gram pruning) plus the packed exact-value index used by the joiner,
 * :mod:`repro.matching.scoring` — Inverse Row Frequency (IRF) and the
   representative score (Rscore),
 * :mod:`repro.matching.row_matcher` — Algorithm 1 (representative-n-gram
-  matching) plus a golden matcher that replays a known ground truth.
+  matching) plus a golden matcher that replays a known ground truth,
+* :mod:`repro.matching.reference` — the seed's nested-loop matcher, kept as
+  the executable specification for equivalence tests and perf baselines.
 """
 
-from repro.matching.index import InvertedIndex
-from repro.matching.ngrams import character_ngrams, ngrams_in_range
+from repro.matching.index import InvertedIndex, ValueIndex
+from repro.matching.ngrams import (
+    character_ngrams,
+    ngrams_in_range,
+    unique_ngrams_by_size,
+)
+from repro.matching.reference import ReferenceRowMatcher
 from repro.matching.row_matcher import (
     GoldenRowMatcher,
     MatchingConfig,
@@ -28,10 +37,13 @@ __all__ = [
     "InvertedIndex",
     "MatchingConfig",
     "NGramRowMatcher",
+    "ReferenceRowMatcher",
     "RowMatcher",
+    "ValueIndex",
     "character_ngrams",
     "choose_source_column",
     "inverse_row_frequency",
     "ngrams_in_range",
     "representative_score",
+    "unique_ngrams_by_size",
 ]

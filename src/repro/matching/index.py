@@ -1,21 +1,64 @@
-"""Inverted index from character n-grams to row ids.
+"""Packed inverted index from character n-grams to row ids.
 
-The index is a hash map keyed by n-gram with the set of row ids containing
-the n-gram as the value, so candidate target rows for a representative n-gram
-are found in O(1) (Section 4.2.1: "the inverted index is organized as a hash
-with every n-gram of size n0 <= n <= nmax as a key").
+The index is a hash map keyed by n-gram (Section 4.2.1: "the inverted index
+is organized as a hash with every n-gram of size n0 <= n <= nmax as a key"),
+but the postings are stored *packed*:
+
+* **Postings** are sorted ``array('i')`` row-id arrays.  Rows are indexed in
+  increasing row-id order and deduplicated per row, so every posting array is
+  born sorted and never needs a per-query sort or copy —
+  :meth:`InvertedIndex.rows_containing` returns the stored array itself.
+* **Row frequencies** live in a parallel ``dict[str, int]`` table, so
+  :meth:`InvertedIndex.row_frequency` (the building block of IRF / Rscore)
+  is a single O(1) lookup.  The table survives stop-gram pruning, keeping
+  Rscore computation exact even when postings have been dropped.
+* **Stop-gram pruning** (``stop_gram_cap``): postings of n-grams occurring in
+  more than ``stop_gram_cap`` rows can be dropped after construction.  Such
+  n-grams behave like stop words — their Rscore is so low that they are
+  almost never representatives — and their posting lists are the longest in
+  the index, so capping them bounds both memory and the worst-case candidate
+  scan.  The cap is off (0) by default; enabling it trades a little recall
+  for bounded postings.
+
+On top of the packed layout, :meth:`InvertedIndex.representatives` fuses
+Algorithm 1's scoring loop into a single build-style pass over the source
+column: source-side row frequencies are only counted for n-grams that also
+occur in the target (all others have Rscore 0 and can never be
+representatives), and each row's representative n-gram per size is computed
+once, up front — eliminating the per-row re-tokenisation, sorting and
+per-gram hash lookups of the original matcher.
+
+:class:`ValueIndex` applies the same packed-postings idea to exact values
+(whole cells instead of n-grams); the transformation joiner uses it as its
+equi-join target map.
 """
 
 from __future__ import annotations
 
-from collections import defaultdict
+from array import array
 from collections.abc import Sequence
+from typing import Final
 
-from repro.matching.ngrams import unique_ngrams
+from repro.matching.ngrams import unique_ngrams_by_size
+
+#: Shared empty posting list returned for unknown (or pruned) n-grams.
+_EMPTY_POSTINGS: Final = array("i")
 
 
 class InvertedIndex:
     """Map n-grams (of a range of sizes) to the ids of rows containing them."""
+
+    __slots__ = (
+        "_min_size",
+        "_max_size",
+        "_lowercase",
+        "_stop_gram_cap",
+        "_postings",
+        "_frequency",
+        "_num_rows",
+        "_num_pruned",
+        "_last_row_id",
+    )
 
     def __init__(
         self,
@@ -23,6 +66,7 @@ class InvertedIndex:
         min_size: int,
         max_size: int,
         lowercase: bool = True,
+        stop_gram_cap: int = 0,
     ) -> None:
         if min_size <= 0:
             raise ValueError(f"min n-gram size must be positive, got {min_size}")
@@ -30,11 +74,17 @@ class InvertedIndex:
             raise ValueError(
                 f"max n-gram size ({max_size}) must be >= min size ({min_size})"
             )
+        if stop_gram_cap < 0:
+            raise ValueError(f"stop_gram_cap must be >= 0, got {stop_gram_cap}")
         self._min_size = min_size
         self._max_size = max_size
         self._lowercase = lowercase
-        self._postings: dict[str, set[int]] = defaultdict(set)
+        self._stop_gram_cap = stop_gram_cap
+        self._postings: dict[str, array] = {}
+        self._frequency: dict[str, int] = {}
         self._num_rows = 0
+        self._num_pruned = 0
+        self._last_row_id = -1
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -47,19 +97,73 @@ class InvertedIndex:
         min_size: int,
         max_size: int,
         lowercase: bool = True,
+        stop_gram_cap: int = 0,
     ) -> "InvertedIndex":
-        """Index every row of *rows* (row ids are their positions)."""
-        index = cls(min_size=min_size, max_size=max_size, lowercase=lowercase)
+        """Index every row of *rows* (row ids are their positions).
+
+        A single pass fills the packed postings and the row-frequency table;
+        stop-gram pruning (when enabled) runs once at the end.
+        """
+        index = cls(
+            min_size=min_size,
+            max_size=max_size,
+            lowercase=lowercase,
+            stop_gram_cap=stop_gram_cap,
+        )
         for row_id, text in enumerate(rows):
             index.add(row_id, text)
+        index.prune_stop_grams()
         return index
 
     def add(self, row_id: int, text: str) -> None:
-        """Add one row's n-grams to the index."""
-        for size in range(self._min_size, self._max_size + 1):
-            for gram in unique_ngrams(text, size, lowercase=self._lowercase):
-                self._postings[gram].add(row_id)
+        """Add one row's n-grams to the index.
+
+        Rows must be added in strictly increasing row-id order so the packed
+        posting arrays stay sorted (and duplicate-free) without ever being
+        re-sorted.
+        """
+        if row_id <= self._last_row_id:
+            raise ValueError(
+                f"rows must be added in strictly increasing order; got row "
+                f"{row_id} after row {self._last_row_id}"
+            )
+        self._last_row_id = row_id
+        postings = self._postings
+        frequency = self._frequency
+        for grams in unique_ngrams_by_size(
+            text, self._min_size, self._max_size, lowercase=self._lowercase
+        ):
+            for gram in grams:
+                count = frequency.get(gram)
+                if count is None:
+                    frequency[gram] = 1
+                    postings[gram] = array("i", (row_id,))
+                else:
+                    # The frequency table is authoritative: keep counting even
+                    # for grams whose postings were pruned as stop-grams
+                    # (which must stay pruned, not resurrect partial lists).
+                    frequency[gram] = count + 1
+                    arr = postings.get(gram)
+                    if arr is not None:
+                        arr.append(row_id)
         self._num_rows += 1
+
+    def prune_stop_grams(self) -> int:
+        """Drop postings of n-grams occurring in more than ``stop_gram_cap`` rows.
+
+        Frequencies are kept (the parallel table is authoritative for IRF /
+        Rscore); only the posting arrays are released.  Returns the number of
+        n-grams pruned by this call.  No-op when the cap is 0.
+        """
+        cap = self._stop_gram_cap
+        if cap <= 0:
+            return 0
+        postings = self._postings
+        stop_grams = [gram for gram, arr in postings.items() if len(arr) > cap]
+        for gram in stop_grams:
+            del postings[gram]
+        self._num_pruned += len(stop_grams)
+        return len(stop_grams)
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -71,24 +175,154 @@ class InvertedIndex:
 
     @property
     def num_ngrams(self) -> int:
-        """Number of distinct n-grams in the index."""
-        return len(self._postings)
+        """Number of distinct n-grams in the index (including pruned ones)."""
+        return len(self._frequency)
 
-    def rows_containing(self, gram: str) -> frozenset[int]:
-        """Ids of rows containing *gram* (empty when the n-gram is unknown)."""
+    @property
+    def num_pruned_ngrams(self) -> int:
+        """Number of n-grams whose postings were dropped as stop-grams."""
+        return self._num_pruned
+
+    @property
+    def stop_gram_cap(self) -> int:
+        """The stop-gram row-frequency cap (0 = pruning disabled)."""
+        return self._stop_gram_cap
+
+    def rows_containing(self, gram: str) -> Sequence[int]:
+        """Ids of rows containing *gram*, sorted ascending.
+
+        Returns the stored posting array itself — no copy is made, so callers
+        must not mutate the result.  Unknown and pruned n-grams yield an
+        empty sequence.
+        """
         if self._lowercase:
             gram = gram.lower()
-        return frozenset(self._postings.get(gram, frozenset()))
+        return self._postings.get(gram, _EMPTY_POSTINGS)
 
     def row_frequency(self, gram: str) -> int:
-        """Number of rows containing *gram*."""
+        """Number of rows containing *gram* (O(1), exact even after pruning)."""
         if self._lowercase:
             gram = gram.lower()
-        return len(self._postings.get(gram, ()))
+        return self._frequency.get(gram, 0)
 
     def __contains__(self, gram: object) -> bool:
         if not isinstance(gram, str):
             return False
         if self._lowercase:
             gram = gram.lower()
-        return gram in self._postings
+        return gram in self._frequency
+
+    # ------------------------------------------------------------------ #
+    # Fused Algorithm 1: build-time representative n-grams
+    # ------------------------------------------------------------------ #
+    def representatives(self, source_values: Sequence[str]) -> list[list[str]]:
+        """Representative n-grams of every source row, against this target index.
+
+        For each row of *source_values* and every n-gram size in the index's
+        range, the n-gram with the highest Rscore (Equation 2) is the row's
+        representative of that size; the returned inner lists are ordered by
+        size.  Sizes with no scoring n-gram contribute no entry, and — like
+        Algorithm 1 — sizes beyond the row length are not considered.
+
+        Ties in Rscore are broken towards the lexicographically smallest
+        n-gram, matching the original matcher's deterministic scan order.
+
+        This is the fused scoring pass: source-side row frequencies are
+        counted in one sweep (restricted to n-grams that occur in the target
+        column — all others score 0), so no per-row re-tokenisation or
+        sorting happens at match time.
+        """
+        target_frequency = self._frequency
+        source_frequency: dict[str, int] = {}
+        per_row_grams: list[list[list[str]]] = []
+        for text in source_values:
+            per_size: list[list[str]] = []
+            for grams in unique_ngrams_by_size(
+                text, self._min_size, self._max_size, lowercase=self._lowercase
+            ):
+                kept = [gram for gram in grams if gram in target_frequency]
+                for gram in kept:
+                    source_frequency[gram] = source_frequency.get(gram, 0) + 1
+                per_size.append(kept)
+            per_row_grams.append(per_size)
+
+        representatives: list[list[str]] = []
+        for per_size in per_row_grams:
+            row_representatives: list[str] = []
+            for kept in per_size:
+                best: str | None = None
+                best_score = 0.0
+                for gram in kept:
+                    # Same arithmetic as scoring.representative_score so that
+                    # floating-point behaviour (and therefore tie-breaking)
+                    # is identical to the reference matcher.
+                    score = (1.0 / source_frequency[gram]) * (
+                        1.0 / target_frequency[gram]
+                    )
+                    if score > best_score:
+                        best_score = score
+                        best = gram
+                    elif score == best_score and best is not None and gram < best:
+                        best = gram
+                if best is not None:
+                    row_representatives.append(best)
+            representatives.append(row_representatives)
+        return representatives
+
+
+class ValueIndex:
+    """Packed exact-value index: cell value -> sorted ``array('i')`` of row ids.
+
+    The same packed-postings layout as :class:`InvertedIndex`, applied to
+    whole cell values.  The transformation joiner uses it as its equi-join
+    target map: probing a transformed source value returns the matching
+    target rows without any copying.
+    """
+
+    __slots__ = ("_postings", "_num_rows", "_lowercase")
+
+    def __init__(self, *, lowercase: bool = False) -> None:
+        self._postings: dict[str, array] = {}
+        self._num_rows = 0
+        self._lowercase = lowercase
+
+    @classmethod
+    def build(
+        cls, values: Sequence[str], *, lowercase: bool = False
+    ) -> "ValueIndex":
+        """Index every value of *values* (row ids are their positions)."""
+        index = cls(lowercase=lowercase)
+        postings = index._postings
+        if lowercase:
+            values = [value.lower() for value in values]
+        for row_id, value in enumerate(values):
+            arr = postings.get(value)
+            if arr is None:
+                postings[value] = array("i", (row_id,))
+            else:
+                arr.append(row_id)
+        index._num_rows = len(values)
+        return index
+
+    @property
+    def num_rows(self) -> int:
+        """Number of rows indexed."""
+        return self._num_rows
+
+    @property
+    def num_values(self) -> int:
+        """Number of distinct values."""
+        return len(self._postings)
+
+    def rows_for(self, value: str) -> Sequence[int]:
+        """Row ids holding exactly *value* (sorted; the stored array, no copy)."""
+        if self._lowercase:
+            value = value.lower()
+        return self._postings.get(value, _EMPTY_POSTINGS)
+
+    def __contains__(self, value: object) -> bool:
+        if not isinstance(value, str):
+            return False
+        if self._lowercase:
+            value = value.lower()
+        return value in self._postings

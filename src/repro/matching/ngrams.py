@@ -29,6 +29,34 @@ def unique_ngrams(text: str, size: int, *, lowercase: bool = True) -> set[str]:
     return set(character_ngrams(text, size, lowercase=lowercase))
 
 
+def unique_ngrams_by_size(
+    text: str,
+    min_size: int,
+    max_size: int,
+    *,
+    lowercase: bool = True,
+) -> Iterator[set[str]]:
+    """Yield the set of distinct n-grams of each size in ``[min_size, max_size]``.
+
+    One set per size, smallest size first; sizes larger than the text yield
+    nothing (the iteration simply stops, as in Algorithm 1's scan).  This is
+    the tokenisation primitive of the packed inverted index: the text is
+    lower-cased once (not once per size) and each size is extracted with a
+    single set-comprehension sweep.
+    """
+    if min_size <= 0:
+        raise ValueError(f"min n-gram size must be positive, got {min_size}")
+    if max_size < min_size:
+        raise ValueError(
+            f"max n-gram size ({max_size}) must be >= min size ({min_size})"
+        )
+    if lowercase:
+        text = text.lower()
+    length = len(text)
+    for size in range(min_size, min(max_size, length) + 1):
+        yield {text[start : start + size] for start in range(length - size + 1)}
+
+
 def ngrams_in_range(
     text: str,
     min_size: int,

@@ -5,6 +5,19 @@ source row and every n-gram size in ``[n0, nmax]`` it selects the n-gram with
 the highest Rscore as the representative n-gram of that size, and every
 target row containing a representative n-gram becomes a candidate pair.
 
+The implementation is the packed fast path: one
+:class:`~repro.matching.index.InvertedIndex` build over the target column
+(sorted-array postings plus an O(1) row-frequency table), representative
+n-grams computed per source row at build time via
+:meth:`~repro.matching.index.InvertedIndex.representatives`, and candidate
+enumeration by scanning the representatives' posting arrays in order — no
+per-row re-tokenisation, no sorting, no posting-set copies.  With the
+default configuration it returns bit-identical pairs (same pairs, same
+order) to the seed implementation preserved in
+:class:`repro.matching.reference.ReferenceRowMatcher`; enabling the
+opt-in ``stop_gram_cap`` trades some candidate recall (pairs reachable only
+through a stop-gram representative) for bounded posting scans.
+
 :class:`GoldenRowMatcher` replays a known ground-truth matching, which the
 experiments use as the "golden" panel of Tables 2 and 4.
 """
@@ -17,8 +30,6 @@ from dataclasses import dataclass
 
 from repro.core.pairs import RowPair
 from repro.matching.index import InvertedIndex
-from repro.matching.ngrams import unique_ngrams
-from repro.matching.scoring import representative_score
 from repro.table.table import Table
 
 
@@ -34,6 +45,7 @@ class MatchingConfig:
     max_ngram: int = 20
     lowercase: bool = True
     max_candidates_per_row: int = 0  # 0 = unlimited (many-to-many joins)
+    stop_gram_cap: int = 0  # 0 = no stop-gram pruning (exact Algorithm 1)
 
     def __post_init__(self) -> None:
         if self.min_ngram <= 0:
@@ -46,6 +58,10 @@ class MatchingConfig:
             raise ValueError(
                 "max_candidates_per_row must be >= 0, got "
                 f"{self.max_candidates_per_row}"
+            )
+        if self.stop_gram_cap < 0:
+            raise ValueError(
+                f"stop_gram_cap must be >= 0, got {self.stop_gram_cap}"
             )
 
 
@@ -105,82 +121,55 @@ class NGramRowMatcher(RowMatcher):
         source_values: Sequence[str],
         target_values: Sequence[str],
     ) -> list[RowPair]:
-        """Match plain value lists (row ids are positions in the lists)."""
+        """Match plain value lists (row ids are positions in the lists).
+
+        The candidates-by-merge fast path: build the packed target index
+        once, compute every source row's representative n-grams in a fused
+        build pass, then emit candidates by scanning the representatives'
+        sorted posting arrays (size-major, ascending row id — the exact
+        order of the reference implementation).
+        """
         config = self._config
-        source_index = InvertedIndex.build(
-            source_values,
-            min_size=config.min_ngram,
-            max_size=config.max_ngram,
-            lowercase=config.lowercase,
-        )
         target_index = InvertedIndex.build(
             target_values,
             min_size=config.min_ngram,
             max_size=config.max_ngram,
             lowercase=config.lowercase,
+            stop_gram_cap=config.stop_gram_cap,
         )
+        representatives = target_index.representatives(source_values)
 
         pairs: list[RowPair] = []
-        seen: set[tuple[int, int]] = set()
+        append_pair = pairs.append
+        cap = config.max_candidates_per_row
         for source_row, source_text in enumerate(source_values):
-            candidate_targets = self._candidates_for_row(
-                source_text, source_index, target_index
-            )
-            if config.max_candidates_per_row:
-                candidate_targets = candidate_targets[
-                    : config.max_candidates_per_row
-                ]
-            for target_row in candidate_targets:
-                key = (source_row, target_row)
-                if key in seen:
-                    continue
-                seen.add(key)
-                pairs.append(
-                    RowPair(
-                        source=source_text,
-                        target=target_values[target_row],
-                        source_row=source_row,
-                        target_row=target_row,
+            # A source row can never repeat a candidate (representatives'
+            # postings are deduplicated below), so no (source, target) pair
+            # can occur twice — candidate dedup per row is all that's needed.
+            seen: set[int] = set()
+            seen_add = seen.add
+            emitted = 0
+            for representative in representatives[source_row]:
+                if cap and emitted >= cap:
+                    # The reference truncates the candidate list to its first
+                    # `cap` entries; later candidates can be skipped entirely.
+                    break
+                for target_row in target_index.rows_containing(representative):
+                    if target_row in seen:
+                        continue
+                    seen_add(target_row)
+                    if cap and emitted >= cap:
+                        break
+                    emitted += 1
+                    append_pair(
+                        RowPair(
+                            source=source_text,
+                            target=target_values[target_row],
+                            source_row=source_row,
+                            target_row=target_row,
+                        )
                     )
-                )
         return pairs
-
-    # ------------------------------------------------------------------ #
-    # Internals
-    # ------------------------------------------------------------------ #
-    def _candidates_for_row(
-        self,
-        source_text: str,
-        source_index: InvertedIndex,
-        target_index: InvertedIndex,
-    ) -> list[int]:
-        """Target rows containing a representative n-gram of *source_text*.
-
-        For every n-gram size, the n-gram of the source row with the highest
-        Rscore is its representative of that size; every target row containing
-        any representative becomes a candidate.
-        """
-        config = self._config
-        candidates: list[int] = []
-        seen: set[int] = set()
-        for size in range(config.min_ngram, config.max_ngram + 1):
-            grams = unique_ngrams(source_text, size, lowercase=config.lowercase)
-            if not grams:
-                break
-            representative = None
-            best_score = 0.0
-            for gram in sorted(grams):
-                score = representative_score(gram, source_index, target_index)
-                if score > best_score:
-                    best_score = score
-                    representative = gram
-            if representative is None:
-                continue
-            for target_row in sorted(target_index.rows_containing(representative)):
-                if target_row not in seen:
-                    seen.add(target_row)
-                    candidates.append(target_row)
-        return candidates
 
 
 class GoldenRowMatcher(RowMatcher):

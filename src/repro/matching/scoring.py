@@ -7,6 +7,15 @@ column TC is ``Rscore(t) = IRF(t, SC) * IRF(t, TC)``.  Representative n-grams
 (highest Rscore per source row and n-gram size) drive the candidate-pair
 search and keep stop-word-like n-grams ("alberta", "Dr. ") from flooding the
 matcher with false positives.
+
+Both functions are O(1) per call on the packed
+:class:`~repro.matching.index.InvertedIndex`: row frequencies come from the
+index's parallel frequency table, which stays exact even when stop-gram
+pruning has dropped an n-gram's postings.  The matcher's hot path does not
+call them per gram any more — Algorithm 1's scoring loop is fused into index
+construction (:meth:`~repro.matching.index.InvertedIndex.representatives`),
+which uses the identical ``(1/sf) * (1/tf)`` arithmetic so that tie-breaking
+is bit-compatible with these definitions.
 """
 
 from __future__ import annotations

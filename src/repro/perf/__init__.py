@@ -1,0 +1,19 @@
+"""Benchmark-tracked performance harness.
+
+:class:`~repro.perf.runner.BenchmarkRunner` times the pipeline's hot stages
+(row matching, transformation generation, coverage, cover selection) on a
+synthetic size ladder and writes ``BENCH_<name>.json`` reports, so the perf
+trajectory of the reproduction is tracked in-repo from PR to PR.  Every run
+can include the preserved seed implementations
+(:class:`~repro.matching.reference.ReferenceRowMatcher`, unbatched coverage)
+next to the packed fast path, giving a before/after comparison — and a
+byte-identical-results check — in one report.
+
+Run it with ``python -m repro.perf`` (see ``--help``); ``--smoke`` executes
+the smallest ladder rung only and fails loudly when stage timings are missing
+or outputs are empty, which CI uses to keep the hot path honest.
+"""
+
+from repro.perf.runner import BenchmarkRunner, validate_payload
+
+__all__ = ["BenchmarkRunner", "validate_payload"]

@@ -1,0 +1,164 @@
+"""CLI for the perf harness: ``python -m repro.perf``.
+
+Examples
+--------
+Full before/after ladder (writes ``BENCH_matching.json`` and
+``BENCH_discovery.json`` to the repository root)::
+
+    PYTHONPATH=src python -m repro.perf --out .
+
+CI smoke (smallest rung, packed engine only, fails when stage timings are
+missing or outputs are empty)::
+
+    PYTHONPATH=src python -m repro.perf --smoke --out /tmp/bench
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.perf.runner import (
+    DEFAULT_LADDER,
+    ENGINES,
+    BenchmarkRunner,
+    validate_payload,
+)
+
+
+def _parse_ladder(text: str) -> tuple[int, ...]:
+    try:
+        ladder = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(f"bad ladder {text!r}: {error}") from None
+    if not ladder:
+        raise argparse.ArgumentTypeError("ladder must contain at least one rung")
+    if any(rung <= 0 for rung in ladder):
+        raise argparse.ArgumentTypeError(
+            f"ladder rungs must be positive, got {list(ladder)}"
+        )
+    return ladder
+
+
+def _parse_engines(text: str) -> tuple[str, ...]:
+    engines = tuple(part.strip() for part in text.split(",") if part.strip())
+    unknown = [engine for engine in engines if engine not in ENGINES]
+    if unknown:
+        raise argparse.ArgumentTypeError(
+            f"unknown engines {unknown}; valid engines: {list(ENGINES)}"
+        )
+    return engines
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="Time the matching/discovery hot path on a synthetic size ladder.",
+    )
+    parser.add_argument(
+        "--benchmark",
+        choices=("matching", "discovery", "both"),
+        default="both",
+        help="which BENCH_*.json report(s) to produce (default: both)",
+    )
+    parser.add_argument(
+        "--ladder",
+        type=_parse_ladder,
+        default=DEFAULT_LADDER,
+        help="comma-separated row counts (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--engines",
+        type=_parse_engines,
+        default=ENGINES,
+        help="comma-separated engines out of seed,packed (default: both)",
+    )
+    parser.add_argument(
+        "--max-seed-rows",
+        type=int,
+        default=10000,
+        help="largest rung the slow seed engine runs at (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--sample-size",
+        type=int,
+        default=200,
+        help="discovery generation sample size (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--row-length",
+        type=int,
+        default=28,
+        help="synthetic row length (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="base RNG seed (default: %(default)s)"
+    )
+    parser.add_argument(
+        "--out",
+        default=".",
+        help="directory BENCH_*.json files are written to (default: cwd)",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=(
+            "fast sanity run: smallest ladder rung, packed engine only; "
+            "exits non-zero when stage timings or outputs are missing"
+        ),
+    )
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    ladder = args.ladder
+    engines = args.engines
+    if args.smoke:
+        ladder = (min(ladder),)
+        engines = ("packed",)
+
+    runner = BenchmarkRunner(
+        ladder=ladder,
+        row_length=args.row_length,
+        sample_size=args.sample_size,
+        seed=args.seed,
+        output_dir=args.out,
+    )
+
+    wanted = ("matching", "discovery") if args.benchmark == "both" else (args.benchmark,)
+    problems: list[str] = []
+    for benchmark in wanted:
+        if benchmark == "matching":
+            payload = runner.run_matching(
+                engines=engines, max_seed_rows=args.max_seed_rows
+            )
+        else:
+            payload = runner.run_discovery(
+                engines=engines, max_seed_rows=args.max_seed_rows
+            )
+        path = runner.write(benchmark, payload)
+        problems.extend(
+            f"{benchmark}: {problem}" for problem in validate_payload(payload)
+        )
+        for rung in payload["rungs"]:
+            summary = ", ".join(
+                f"{engine}={record['total_s']:.2f}s"
+                for engine, record in rung["engines"].items()
+            )
+            speedup = f", speedup={rung['speedup']}x" if "speedup" in rung else ""
+            identical = (
+                f", identical={rung['identical']}" if "identical" in rung else ""
+            )
+            print(f"[{benchmark}] rows={rung['rows']}: {summary}{speedup}{identical}")
+        print(f"[{benchmark}] wrote {path}")
+
+    if problems:
+        for problem in problems:
+            print(f"SMOKE FAILURE: {problem}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,311 @@
+"""The size-ladder benchmark runner behind ``BENCH_*.json``.
+
+The runner generates one synthetic table pair per ladder rung (same seed for
+every engine, so all engines see identical inputs), times each pipeline stage
+with :class:`~repro.utils.timing.StageTimer`-compatible wall clocks, and
+writes a JSON report whose schema is stable enough to diff across PRs:
+
+.. code-block:: text
+
+    {
+      "benchmark": "discovery",
+      "config": {...generation and engine parameters...},
+      "rungs": [
+        {
+          "rows": 10000,
+          "engines": {
+            "seed":   {"stages": {...}, "total_s": ..., "num_pairs": ...},
+            "packed": {"stages": {...}, "total_s": ..., "num_pairs": ...}
+          },
+          "identical": true,        # packed results byte-identical to seed
+          "speedup": 7.9            # seed total_s / packed total_s
+        },
+        ...
+      ]
+    }
+
+``identical`` is computed from the actual candidate-pair lists and discovered
+covers, not from counts — the harness doubles as a large-scale equivalence
+test for the packed fast path.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.core.config import DiscoveryConfig
+from repro.core.discovery import DiscoveryResult, TransformationDiscovery
+from repro.datasets.synthetic import SyntheticConfig, generate_table_pair
+from repro.matching.reference import ReferenceRowMatcher
+from repro.matching.row_matcher import MatchingConfig, NGramRowMatcher, RowMatcher
+
+#: The default synthetic size ladder (number of rows per rung).
+DEFAULT_LADDER: tuple[int, ...] = (1000, 5000, 10000, 25000)
+
+#: Engines the runner knows how to build.  "seed" is the preserved original
+#: implementation (reference matcher + unbatched coverage); "packed" is the
+#: packed-index matcher + trie-batched coverage.
+ENGINES: tuple[str, ...] = ("seed", "packed")
+
+
+class BenchmarkRunner:
+    """Time the matching/discovery hot path on a synthetic size ladder.
+
+    Parameters
+    ----------
+    ladder:
+        Row counts to sweep, ascending.
+    row_length:
+        Fixed synthetic row length (the paper's Figure 4a uses 28).
+    sample_size:
+        Discovery generation sample (Section 5.3); keeps the number of
+        candidate transformations roughly constant across rungs so the
+        coverage stage scales with rows only.
+    seed:
+        Base RNG seed; rung *n* uses ``seed + n`` so inputs are reproducible
+        and identical across engines.
+    output_dir:
+        Where :meth:`write` puts ``BENCH_<name>.json`` (default: cwd).
+    """
+
+    def __init__(
+        self,
+        *,
+        ladder: Sequence[int] = DEFAULT_LADDER,
+        row_length: int = 28,
+        sample_size: int = 200,
+        seed: int = 0,
+        output_dir: str | Path | None = None,
+    ) -> None:
+        if not ladder:
+            raise ValueError("ladder must contain at least one rung")
+        if any(rung <= 0 for rung in ladder):
+            raise ValueError(f"ladder rungs must be positive, got {list(ladder)}")
+        self.ladder = tuple(ladder)
+        self.row_length = row_length
+        self.sample_size = sample_size
+        self.seed = seed
+        self.output_dir = Path(output_dir) if output_dir is not None else Path.cwd()
+
+    # ------------------------------------------------------------------ #
+    # Engines and inputs
+    # ------------------------------------------------------------------ #
+    def matcher_for(self, engine: str) -> RowMatcher:
+        """The row matcher of *engine* ("seed" or "packed")."""
+        config = MatchingConfig()
+        if engine == "seed":
+            return ReferenceRowMatcher(config)
+        if engine == "packed":
+            return NGramRowMatcher(config)
+        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+
+    def discovery_for(self, engine: str) -> TransformationDiscovery:
+        """The discovery engine of *engine* ("seed" or "packed")."""
+        if engine == "seed":
+            config = DiscoveryConfig(
+                sample_size=self.sample_size, use_batched_coverage=False
+            )
+        elif engine == "packed":
+            config = DiscoveryConfig(sample_size=self.sample_size)
+        else:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        return TransformationDiscovery(config)
+
+    def rung_values(
+        self, num_rows: int, *, row_length: int | None = None
+    ) -> tuple[list[str], list[str]]:
+        """The (source, target) column values of one ladder rung."""
+        length = self.row_length if row_length is None else row_length
+        config = SyntheticConfig(
+            num_rows=num_rows,
+            min_length=length,
+            max_length=length,
+            seed=self.seed + num_rows,
+        )
+        pair, _ = generate_table_pair(config)
+        return list(pair.source["value"]), list(pair.target["value"])
+
+    # ------------------------------------------------------------------ #
+    # Single rungs
+    # ------------------------------------------------------------------ #
+    def matching_rung(
+        self,
+        num_rows: int,
+        engine: str,
+        *,
+        values: tuple[list[str], list[str]] | None = None,
+    ) -> tuple[dict, list]:
+        """Time row matching at one rung; returns (record, pairs)."""
+        source_values, target_values = values or self.rung_values(num_rows)
+        matcher = self.matcher_for(engine)
+        started = time.perf_counter()
+        pairs = matcher.match_values(source_values, target_values)
+        elapsed = time.perf_counter() - started
+        record = {
+            "stages": {"row_matching": elapsed},
+            "total_s": elapsed,
+            "num_pairs": len(pairs),
+        }
+        return record, pairs
+
+    def discovery_rung(
+        self,
+        num_rows: int,
+        engine: str,
+        *,
+        row_length: int | None = None,
+        values: tuple[list[str], list[str]] | None = None,
+    ) -> tuple[dict, list, DiscoveryResult]:
+        """Time row matching + discovery at one rung.
+
+        Returns ``(record, pairs, discovery_result)`` so callers can compare
+        results across engines.
+        """
+        source_values, target_values = values or self.rung_values(
+            num_rows, row_length=row_length
+        )
+        matcher = self.matcher_for(engine)
+        discovery = self.discovery_for(engine)
+
+        started = time.perf_counter()
+        pairs = matcher.match_values(source_values, target_values)
+        matching_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        result = discovery.discover(pairs)
+        discovery_seconds = time.perf_counter() - started
+
+        stages = {"row_matching": matching_seconds}
+        stages.update(result.stats.stage_seconds)
+        record = {
+            "stages": stages,
+            "total_s": matching_seconds + discovery_seconds,
+            "matching_s": matching_seconds,
+            "discovery_s": discovery_seconds,
+            "num_pairs": len(pairs),
+            "num_transformations": result.stats.unique_transformations,
+            "cover_size": len(result.cover),
+            "top_coverage": result.top_coverage,
+        }
+        return record, pairs, result
+
+    # ------------------------------------------------------------------ #
+    # Ladder sweeps
+    # ------------------------------------------------------------------ #
+    def run_matching(
+        self,
+        *,
+        engines: Sequence[str] = ENGINES,
+        max_seed_rows: int = 10000,
+    ) -> dict:
+        """Sweep the ladder timing row matching only."""
+        return self._run_ladder("matching", engines, max_seed_rows, discovery=False)
+
+    def run_discovery(
+        self,
+        *,
+        engines: Sequence[str] = ENGINES,
+        max_seed_rows: int = 10000,
+    ) -> dict:
+        """Sweep the ladder timing row matching + discovery (the fig-4a path)."""
+        return self._run_ladder("discovery", engines, max_seed_rows, discovery=True)
+
+    def _run_ladder(
+        self,
+        benchmark: str,
+        engines: Sequence[str],
+        max_seed_rows: int,
+        *,
+        discovery: bool,
+    ) -> dict:
+        rungs = []
+        for num_rows in self.ladder:
+            values = self.rung_values(num_rows)
+            engine_records: dict[str, dict] = {}
+            outputs: dict[str, tuple] = {}
+            for engine in engines:
+                if engine == "seed" and max_seed_rows and num_rows > max_seed_rows:
+                    # The seed engine is O(slow); cap how far up the ladder it
+                    # climbs.  The packed engine still records the rung.
+                    continue
+                if discovery:
+                    record, pairs, result = self.discovery_rung(
+                        num_rows, engine, values=values
+                    )
+                    outputs[engine] = (pairs, result.cover)
+                else:
+                    record, pairs = self.matching_rung(num_rows, engine, values=values)
+                    outputs[engine] = (pairs, None)
+                engine_records[engine] = record
+            rung: dict = {"rows": num_rows, "engines": engine_records}
+            if "seed" in engine_records and "packed" in engine_records:
+                seed_pairs, seed_cover = outputs["seed"]
+                packed_pairs, packed_cover = outputs["packed"]
+                rung["identical"] = (
+                    seed_pairs == packed_pairs and seed_cover == packed_cover
+                )
+                packed_total = engine_records["packed"]["total_s"]
+                if packed_total > 0:
+                    rung["speedup"] = round(
+                        engine_records["seed"]["total_s"] / packed_total, 2
+                    )
+            rungs.append(rung)
+        return {
+            "benchmark": benchmark,
+            "harness": "repro.perf.BenchmarkRunner",
+            "config": {
+                "ladder": list(self.ladder),
+                "row_length": self.row_length,
+                "sample_size": self.sample_size,
+                "seed": self.seed,
+                "engines": list(engines),
+                "max_seed_rows": max_seed_rows,
+            },
+            "rungs": rungs,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Output
+    # ------------------------------------------------------------------ #
+    def write(self, name: str, payload: dict) -> Path:
+        """Write *payload* to ``<output_dir>/BENCH_<name>.json`` and return the path."""
+        self.output_dir.mkdir(parents=True, exist_ok=True)
+        path = self.output_dir / f"BENCH_{name}.json"
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+        return path
+
+
+def validate_payload(payload: dict) -> list[str]:
+    """Sanity-check a benchmark payload; returns a list of problems (empty = ok).
+
+    Used by the ``--smoke`` CLI mode (and CI) to assert that stage timings
+    were recorded and that the run produced non-empty outputs.
+    """
+    problems: list[str] = []
+    rungs = payload.get("rungs") or []
+    if not rungs:
+        problems.append("no rungs recorded")
+    for rung in rungs:
+        rows = rung.get("rows")
+        engines = rung.get("engines") or {}
+        if not engines:
+            problems.append(f"rung {rows}: no engines recorded")
+        for engine, record in engines.items():
+            label = f"rung {rows}/{engine}"
+            stages = record.get("stages") or {}
+            if not stages:
+                problems.append(f"{label}: no stage timings recorded")
+            if any(seconds < 0 for seconds in stages.values()):
+                problems.append(f"{label}: negative stage timing")
+            if record.get("total_s", 0) <= 0:
+                problems.append(f"{label}: total_s missing or non-positive")
+            if record.get("num_pairs", 0) <= 0:
+                problems.append(f"{label}: no candidate pairs produced")
+            if "num_transformations" in record and record["num_transformations"] <= 0:
+                problems.append(f"{label}: no transformations generated")
+        if rung.get("identical") is False:
+            problems.append(f"rung {rows}: engines disagree on results")
+    return problems

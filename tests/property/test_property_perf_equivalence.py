@@ -1,0 +1,188 @@
+"""Old/new equivalence: the packed fast paths must match the seed exactly.
+
+Two engines were rebuilt for performance in the fast-path PR:
+
+* the row matcher (packed inverted index + build-time representatives) must
+  return *exactly* the pairs of the preserved seed implementation
+  (:class:`repro.matching.reference.ReferenceRowMatcher`) — same pairs, same
+  order, including Rscore ties,
+* the batched (trie-walking) coverage engine must return *identical*
+  :class:`~repro.core.coverage.CoverageResult`'s to the one-transformation-
+  at-a-time path.
+
+These properties are exercised with hypothesis over adversarially small
+alphabets (to force shared n-grams and score ties) and deterministically on
+the synthetic and wordlist-backed datasets.
+"""
+
+from __future__ import annotations
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.coverage import CoverageComputer
+from repro.core.pairs import pairs_from_strings
+from repro.core.transformation import Transformation
+from repro.core.units import Literal, Split, SplitSubstr, Substr
+from repro.datasets.synthetic import SyntheticConfig, generate_table_pair
+from repro.datasets.web_tables import TOPICS, generate_pair
+from repro.matching.reference import ReferenceRowMatcher
+from repro.matching.row_matcher import MatchingConfig, NGramRowMatcher
+
+# A tiny alphabet makes n-gram collisions — and therefore identical row
+# frequencies and Rscore ties — very likely.
+TIGHT_CELL = st.text(alphabet="ab ", min_size=0, max_size=10)
+CELL = st.text(
+    alphabet=string.ascii_lowercase + string.digits + " ,-.", max_size=14
+)
+
+
+def assert_matchers_agree(source_values, target_values, config):
+    packed = NGramRowMatcher(config).match_values(source_values, target_values)
+    reference = ReferenceRowMatcher(config).match_values(source_values, target_values)
+    assert packed == reference
+
+
+class TestMatcherEquivalence:
+    @given(
+        source=st.lists(CELL, min_size=1, max_size=10),
+        target=st.lists(CELL, min_size=1, max_size=10),
+    )
+    def test_packed_matches_reference(self, source, target):
+        assert_matchers_agree(
+            source, target, MatchingConfig(min_ngram=2, max_ngram=5)
+        )
+
+    @given(
+        source=st.lists(TIGHT_CELL, min_size=1, max_size=10),
+        target=st.lists(TIGHT_CELL, min_size=1, max_size=10),
+    )
+    def test_packed_matches_reference_under_rscore_ties(self, source, target):
+        # With a 3-symbol alphabet most n-grams collide, so representative
+        # selection is dominated by tie-breaking.
+        assert_matchers_agree(
+            source, target, MatchingConfig(min_ngram=1, max_ngram=3)
+        )
+
+    @given(
+        source=st.lists(CELL, min_size=1, max_size=8),
+        target=st.lists(CELL, min_size=1, max_size=8),
+        cap=st.integers(min_value=1, max_value=3),
+    )
+    def test_packed_matches_reference_with_candidate_cap(self, source, target, cap):
+        assert_matchers_agree(
+            source,
+            target,
+            MatchingConfig(min_ngram=2, max_ngram=4, max_candidates_per_row=cap),
+        )
+
+    @settings(deadline=None)
+    @given(case_sensitive=st.booleans())
+    def test_packed_matches_reference_on_synthetic_dataset(self, case_sensitive):
+        pair, _ = generate_table_pair(
+            SyntheticConfig(num_rows=60, seed=7), name="equivalence"
+        )
+        assert_matchers_agree(
+            list(pair.source["value"]),
+            list(pair.target["value"]),
+            MatchingConfig(lowercase=not case_sensitive),
+        )
+
+    @settings(deadline=None, max_examples=len(TOPICS))
+    @given(topic_index=st.integers(min_value=0, max_value=len(TOPICS) - 1))
+    def test_packed_matches_reference_on_wordlist_tables(self, topic_index):
+        # The web-table topics compose the wordlists (names, streets, cities)
+        # into realistic cells with many repeated n-grams across rows.
+        pair = generate_pair(TOPICS[topic_index], num_rows=40, seed=11)
+        assert_matchers_agree(
+            list(pair.source["join"]),
+            list(pair.target["join"]),
+            MatchingConfig(),
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Coverage equivalence
+# --------------------------------------------------------------------------- #
+UNITS = st.one_of(
+    st.builds(Literal, st.text(alphabet="ab, ", min_size=0, max_size=3)),
+    st.builds(
+        Substr,
+        st.integers(min_value=0, max_value=6),
+        st.integers(min_value=7, max_value=12),
+    ),
+    st.builds(Split, st.sampled_from([",", " ", "-"]), st.integers(1, 3)),
+    st.builds(
+        SplitSubstr,
+        st.sampled_from([",", " "]),
+        st.integers(1, 2),
+        st.integers(0, 2),
+        st.integers(3, 5),
+    ),
+)
+
+TRANSFORMATIONS = st.lists(
+    st.builds(Transformation, st.lists(UNITS, min_size=1, max_size=4)),
+    min_size=0,
+    max_size=25,
+)
+
+STRING_PAIRS = st.lists(
+    st.tuples(CELL, CELL),
+    min_size=0,
+    max_size=12,
+)
+
+
+def assert_coverage_engines_agree(pairs, transformations, *, use_unit_cache=True):
+    batched = CoverageComputer(pairs, use_unit_cache=use_unit_cache)
+    unbatched = CoverageComputer(pairs, use_unit_cache=use_unit_cache)
+    batched_results = batched.coverage_of_all(transformations, batched=True)
+    unbatched_results = unbatched.coverage_of_all(transformations, batched=False)
+    assert batched_results == unbatched_results
+    # Both paths classify every (transformation, row) application exactly once.
+    expected = len(transformations) * len(pairs)
+    assert batched.stats.cache_hits + batched.stats.cache_misses == expected
+    assert unbatched.stats.cache_hits + unbatched.stats.cache_misses == expected
+
+
+class TestCoverageEquivalence:
+    @given(raw_pairs=STRING_PAIRS, transformations=TRANSFORMATIONS)
+    def test_batched_matches_unbatched(self, raw_pairs, transformations):
+        assert_coverage_engines_agree(pairs_from_strings(raw_pairs), transformations)
+
+    @given(raw_pairs=STRING_PAIRS, transformations=TRANSFORMATIONS)
+    def test_batched_matches_unbatched_without_cache(
+        self, raw_pairs, transformations
+    ):
+        assert_coverage_engines_agree(
+            pairs_from_strings(raw_pairs), transformations, use_unit_cache=False
+        )
+
+    @given(transformations=TRANSFORMATIONS)
+    def test_batched_handles_duplicate_transformations(self, transformations):
+        # Duplicates share one trie path but must each report their coverage
+        # (the no-duplicate-removal ablation relies on this).
+        pairs = pairs_from_strings([("a,b", "b"), ("a b", "a")])
+        assert_coverage_engines_agree(pairs, transformations + transformations)
+
+    @settings(deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=3))
+    def test_batched_matches_unbatched_on_synthetic_discovery(self, seed):
+        from repro.core.config import DiscoveryConfig
+        from repro.core.discovery import TransformationDiscovery
+
+        pair, _ = generate_table_pair(
+            SyntheticConfig(num_rows=30, seed=seed), name="coverage-eq"
+        )
+        string_pairs = pair.golden_string_pairs()
+        batched = TransformationDiscovery(
+            DiscoveryConfig(sample_size=10)
+        ).discover_from_strings(string_pairs)
+        unbatched = TransformationDiscovery(
+            DiscoveryConfig(sample_size=10, use_batched_coverage=False)
+        ).discover_from_strings(string_pairs)
+        assert batched.top == unbatched.top
+        assert batched.cover == unbatched.cover

@@ -62,6 +62,62 @@ class TestCoverageComputer:
         assert batch[0].covered_rows == frozenset({0, 1, 2})
         assert batch[1].covered_rows == frozenset({0})
 
+    def test_batched_and_unbatched_paths_agree(self, name_pairs, paper_transformation):
+        transformations = [
+            paper_transformation,
+            Transformation([Literal("D "), Split(",", 1)]),
+            Transformation([Literal("zzz")]),
+            Transformation([Split(",", 2), Literal(" "), Split(",", 1)]),
+        ]
+        batched = CoverageComputer(name_pairs).coverage_of_all(
+            transformations, batched=True
+        )
+        unbatched = CoverageComputer(name_pairs).coverage_of_all(
+            transformations, batched=False
+        )
+        assert batched == unbatched
+
+    def test_batched_accounts_every_application(self, name_pairs, paper_transformation):
+        transformations = [
+            paper_transformation,
+            Transformation([Literal("zzz"), Split(",", 1)]),
+            Transformation([Literal("zzz"), Split(",", 2)]),
+        ]
+        computer = CoverageComputer(name_pairs)
+        computer.coverage_of_all(transformations, batched=True)
+        stats = computer.stats
+        # Every (transformation, row) application is classified exactly once,
+        # as either skipped (hit) or evaluated (miss).
+        assert stats.cache_hits + stats.cache_misses == len(transformations) * 3
+        # The shared bad first unit skips both zzz-transformations per row.
+        assert stats.cache_hits >= 6
+
+    def test_batched_default_follows_unit_cache(self, name_pairs):
+        transformation = Transformation([Literal("zzz")])
+        cached = CoverageComputer(name_pairs, use_unit_cache=True)
+        cached.coverage_of_all([transformation, transformation])
+        # Batched by default: the duplicate is skipped via the shared trie.
+        assert cached.stats.cache_hits > 0
+        uncached = CoverageComputer(name_pairs, use_unit_cache=False)
+        uncached.coverage_of_all([transformation, transformation])
+        # Cache off falls back to the one-at-a-time path: never a hit.
+        assert uncached.stats.cache_hits == 0
+
+    def test_batched_without_cache_reports_no_cache_hits(self, name_pairs):
+        transformations = [
+            Transformation([Literal("zzz"), Substr(0, 1)]),
+            Transformation([Literal("zzz"), Substr(0, 2)]),
+        ]
+        computer = CoverageComputer(name_pairs, use_unit_cache=False)
+        computer.coverage_of_all(transformations, batched=True)
+        # The batch memo skips repeated failing units, but with the unit
+        # cache disabled those skips are not cache hits.
+        assert computer.stats.cache_hits == 0
+        assert computer.stats.cache_misses == len(transformations) * 3
+
+    def test_batched_empty_inputs(self):
+        assert CoverageComputer([]).coverage_of_all([], batched=True) == []
+
 
 class TestUnitCache:
     def test_cache_hits_accumulate_for_repeated_bad_units(self, name_pairs):

@@ -91,6 +91,17 @@ class TestTransformationJoiner:
         with pytest.raises(ValueError):
             TransformationJoiner([], min_support=0.5)
 
+    def test_support_filter_requires_real_pair_count(self):
+        # Guessing the pair count from the covered rows (max row + 1)
+        # undercounts when trailing rows are uncovered and silently loosens
+        # the threshold — the joiner must refuse instead.
+        rare = Transformation([Split("-", 1)])
+        coverage = [CoverageResult(rare, frozenset({0}))]
+        with pytest.raises(ValueError, match="num_candidate_pairs"):
+            TransformationJoiner(
+                [rare], min_support=0.5, coverage_results=coverage
+            )
+
 
 class TestJoinPipeline:
     def test_end_to_end_on_staff_tables(self, staff_tables):

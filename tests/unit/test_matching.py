@@ -46,9 +46,16 @@ class TestInvertedIndex:
     def test_build_and_lookup(self):
         index = InvertedIndex.build(["hello world", "hello there"], min_size=4, max_size=6)
         assert index.num_rows == 2
-        assert index.rows_containing("hello") == frozenset({0, 1})
-        assert index.rows_containing("world") == frozenset({0})
-        assert index.rows_containing("zzzz") == frozenset()
+        assert list(index.rows_containing("hello")) == [0, 1]
+        assert list(index.rows_containing("world")) == [0]
+        assert list(index.rows_containing("zzzz")) == []
+
+    def test_postings_are_packed_and_not_copied(self):
+        index = InvertedIndex.build(["abcd", "xabc", "abcx"], min_size=3, max_size=3)
+        postings = index.rows_containing("abc")
+        # Sorted ascending, and the same object on every call (no copies).
+        assert list(postings) == sorted(postings)
+        assert index.rows_containing("abc") is postings
 
     def test_row_frequency(self):
         index = InvertedIndex.build(["abcd", "abce", "abxx"], min_size=2, max_size=3)
@@ -58,7 +65,7 @@ class TestInvertedIndex:
 
     def test_case_insensitive_by_default(self):
         index = InvertedIndex.build(["Hello"], min_size=4, max_size=5)
-        assert index.rows_containing("HELLO") == frozenset({0})
+        assert list(index.rows_containing("HELLO")) == [0]
 
     def test_contains(self):
         index = InvertedIndex.build(["abcd"], min_size=2, max_size=2)
@@ -75,6 +82,78 @@ class TestInvertedIndex:
             InvertedIndex(min_size=0, max_size=3)
         with pytest.raises(ValueError):
             InvertedIndex(min_size=4, max_size=2)
+        with pytest.raises(ValueError):
+            InvertedIndex(min_size=2, max_size=3, stop_gram_cap=-1)
+
+    def test_out_of_order_add_rejected(self):
+        index = InvertedIndex(min_size=2, max_size=2)
+        index.add(0, "ab")
+        index.add(1, "cd")
+        with pytest.raises(ValueError):
+            index.add(0, "ef")
+        with pytest.raises(ValueError):
+            # Repeating a row id would silently double-count postings.
+            index.add(1, "ab")
+
+    def test_stop_gram_pruning_drops_postings_keeps_frequencies(self):
+        rows = ["abcd", "abce", "abcf", "abzz"]
+        index = InvertedIndex.build(rows, min_size=2, max_size=3, stop_gram_cap=2)
+        # "ab" occurs in 4 rows (> cap): postings dropped, frequency kept.
+        assert list(index.rows_containing("ab")) == []
+        assert index.row_frequency("ab") == 4
+        assert "ab" in index
+        assert index.num_pruned_ngrams > 0
+        # "abc" occurs in 3 rows (> cap) and is pruned too; "bz" survives.
+        assert list(index.rows_containing("bz")) == [3]
+
+    def test_add_after_pruning_keeps_frequencies_exact(self):
+        index = InvertedIndex.build(
+            ["abc", "abd", "abe"], min_size=2, max_size=2, stop_gram_cap=2
+        )
+        assert list(index.rows_containing("ab")) == []
+        assert index.row_frequency("ab") == 3
+        index.add(3, "abz")
+        # A pruned stop-gram stays pruned and its frequency keeps counting.
+        assert list(index.rows_containing("ab")) == []
+        assert index.row_frequency("ab") == 4
+        assert list(index.rows_containing("bz")) == [3]
+
+    def test_representatives_match_scoring_definition(self):
+        source = ["abcd", "abce"]
+        target = ["abcd", "qqqq"]
+        index = InvertedIndex.build(target, min_size=3, max_size=4)
+        reps = index.representatives(source)
+        # Row 0: "abc"/"bcd" of size 3 ("abc" scores 1/2*1, "bcd" 1*1 — "bcd"
+        # wins), "abcd" of size 4 (scores 1*1).
+        assert reps[0] == ["bcd", "abcd"]
+        # Row 1: only "abc" co-occurs at size 3, nothing at size 4.
+        assert reps[1] == ["abc"]
+
+    def test_representatives_break_ties_lexicographically(self):
+        # Both "abcd" and "bcde" occur once in source and once in target:
+        # equal Rscore, so the lexicographically smallest wins.
+        index = InvertedIndex.build(["abcdexx", "yyyyyyy"], min_size=4, max_size=4)
+        reps = index.representatives(["abcde"])
+        assert reps[0] == ["abcd"]
+
+
+class TestValueIndex:
+    def test_build_and_probe(self):
+        from repro.matching.index import ValueIndex
+
+        index = ValueIndex.build(["a", "b", "a", "c"])
+        assert index.num_rows == 4
+        assert index.num_values == 3
+        assert list(index.rows_for("a")) == [0, 2]
+        assert list(index.rows_for("missing")) == []
+        assert "b" in index
+        assert 7 not in index
+
+    def test_lowercase_mode(self):
+        from repro.matching.index import ValueIndex
+
+        index = ValueIndex.build(["Ada", "ada"], lowercase=True)
+        assert list(index.rows_for("ADA")) == [0, 1]
 
 
 class TestScoring:

@@ -1,0 +1,131 @@
+"""Unit tests for the perf harness (repro.perf)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.perf import BenchmarkRunner, validate_payload
+from repro.perf.__main__ import main
+
+
+@pytest.fixture(scope="module")
+def tiny_runner_payloads(tmp_path_factory):
+    """One small before/after ladder run shared by the assertions below."""
+    out = tmp_path_factory.mktemp("bench")
+    runner = BenchmarkRunner(ladder=(40, 80), sample_size=20, output_dir=out)
+    matching = runner.run_matching()
+    discovery = runner.run_discovery()
+    return runner, matching, discovery
+
+
+class TestBenchmarkRunner:
+    def test_rejects_bad_ladder(self):
+        with pytest.raises(ValueError):
+            BenchmarkRunner(ladder=())
+        with pytest.raises(ValueError):
+            BenchmarkRunner(ladder=(100, 0))
+
+    def test_rejects_unknown_engine(self):
+        runner = BenchmarkRunner(ladder=(10,))
+        with pytest.raises(ValueError):
+            runner.matcher_for("warp-drive")
+        with pytest.raises(ValueError):
+            runner.discovery_for("warp-drive")
+
+    def test_matching_payload_shape(self, tiny_runner_payloads):
+        _, matching, _ = tiny_runner_payloads
+        assert matching["benchmark"] == "matching"
+        assert [rung["rows"] for rung in matching["rungs"]] == [40, 80]
+        for rung in matching["rungs"]:
+            assert set(rung["engines"]) == {"seed", "packed"}
+            assert rung["identical"] is True
+            for record in rung["engines"].values():
+                assert record["num_pairs"] > 0
+                assert record["stages"]["row_matching"] >= 0
+        assert validate_payload(matching) == []
+
+    def test_discovery_payload_records_stage_breakdown(self, tiny_runner_payloads):
+        _, _, discovery = tiny_runner_payloads
+        for rung in discovery["rungs"]:
+            assert rung["identical"] is True
+            for record in rung["engines"].values():
+                stages = record["stages"]
+                assert "row_matching" in stages
+                assert "applying_transformations" in stages
+                assert record["num_transformations"] > 0
+                assert record["cover_size"] > 0
+        assert validate_payload(discovery) == []
+
+    def test_max_seed_rows_caps_the_slow_engine(self):
+        runner = BenchmarkRunner(ladder=(30, 60), sample_size=15)
+        payload = runner.run_matching(max_seed_rows=30)
+        by_rows = {rung["rows"]: rung for rung in payload["rungs"]}
+        assert set(by_rows[30]["engines"]) == {"seed", "packed"}
+        assert set(by_rows[60]["engines"]) == {"packed"}
+        assert "speedup" not in by_rows[60]
+
+    def test_write_emits_json_file(self, tiny_runner_payloads, tmp_path):
+        runner, matching, _ = tiny_runner_payloads
+        runner.output_dir = tmp_path
+        path = runner.write("matching", matching)
+        assert path.name == "BENCH_matching.json"
+        assert json.loads(path.read_text())["benchmark"] == "matching"
+
+
+class TestValidatePayload:
+    def test_flags_empty_payload(self):
+        assert validate_payload({}) == ["no rungs recorded"]
+
+    def test_flags_missing_stages_and_outputs(self):
+        payload = {
+            "rungs": [
+                {
+                    "rows": 10,
+                    "engines": {
+                        "packed": {"stages": {}, "total_s": 0.0, "num_pairs": 0}
+                    },
+                }
+            ]
+        }
+        problems = validate_payload(payload)
+        assert any("no stage timings" in problem for problem in problems)
+        assert any("total_s" in problem for problem in problems)
+        assert any("no candidate pairs" in problem for problem in problems)
+
+    def test_flags_disagreeing_engines(self):
+        payload = {
+            "rungs": [
+                {
+                    "rows": 10,
+                    "engines": {
+                        "packed": {
+                            "stages": {"row_matching": 0.1},
+                            "total_s": 0.1,
+                            "num_pairs": 3,
+                        }
+                    },
+                    "identical": False,
+                }
+            ]
+        }
+        assert any(
+            "disagree" in problem for problem in validate_payload(payload)
+        )
+
+
+class TestCli:
+    def test_smoke_mode_writes_reports_and_passes(self, tmp_path, capsys):
+        exit_code = main(
+            ["--smoke", "--ladder", "60", "--sample-size", "20", "--out", str(tmp_path)]
+        )
+        assert exit_code == 0
+        assert (tmp_path / "BENCH_matching.json").exists()
+        assert (tmp_path / "BENCH_discovery.json").exists()
+        captured = capsys.readouterr()
+        assert "rows=60" in captured.out
+
+    def test_bad_engine_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["--engines", "warp-drive", "--out", str(tmp_path)])
