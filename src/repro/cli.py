@@ -108,19 +108,33 @@ def _add_pair_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--max-ngram", type=int, default=20, help="largest n-gram used by the matcher"
     )
+    parser.add_argument(
+        "--num-workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for row matching and coverage (1 = serial, "
+            "0 = all cores; default: REPRO_NUM_WORKERS or 1); results are "
+            "identical at any worker count"
+        ),
+    )
 
 
 def _discovery_config(args: argparse.Namespace) -> DiscoveryConfig:
-    return DiscoveryConfig(
+    config = DiscoveryConfig(
         max_placeholders=args.max_placeholders,
         sample_size=args.sample_size,
     )
+    if args.num_workers is not None:
+        config = config.replace(num_workers=args.num_workers)
+    return config
 
 
 def _matcher(args: argparse.Namespace) -> NGramRowMatcher:
-    return NGramRowMatcher(
-        MatchingConfig(min_ngram=args.min_ngram, max_ngram=args.max_ngram)
-    )
+    kwargs = dict(min_ngram=args.min_ngram, max_ngram=args.max_ngram)
+    if args.num_workers is not None:
+        kwargs["num_workers"] = args.num_workers
+    return NGramRowMatcher(MatchingConfig(**kwargs))
 
 
 def run_discover(args: argparse.Namespace) -> int:

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.units import UNIT_NAMES
+from repro.parallel.executor import env_default_workers
 
 
 @dataclass(frozen=True)
@@ -64,6 +65,13 @@ class DiscoveryConfig:
         consults the non-covering-unit cache once per (unit, row) instead of
         once per (transformation, row).  Covered rows are identical; disable
         to time the seed's one-transformation-at-a-time path.
+    num_workers:
+        Worker processes for the coverage stage (1 = serial, 0 = all cores;
+        the default honours the ``REPRO_NUM_WORKERS`` environment variable).
+        Rows are sharded across a process pool sharing the frozen unit trie
+        (:mod:`repro.parallel`); results are byte-identical to the serial
+        engine.  Only the batched path shards — with batching (or the unit
+        cache) disabled the knob has no effect.
     top_k:
         How many of the highest-coverage transformations to report.
     case_insensitive:
@@ -91,6 +99,7 @@ class DiscoveryConfig:
     use_duplicate_removal: bool = True
     use_unit_cache: bool = True
     use_batched_coverage: bool = True
+    num_workers: int = field(default_factory=env_default_workers)
     top_k: int = 5
     case_insensitive: bool = False
     extra: dict = field(default_factory=dict, compare=False)
@@ -109,6 +118,8 @@ class DiscoveryConfig:
             raise ValueError(f"min_support must be >= 1, got {self.min_support}")
         if self.sample_size < 0:
             raise ValueError(f"sample_size must be >= 0, got {self.sample_size}")
+        if self.num_workers < 0:
+            raise ValueError(f"num_workers must be >= 0, got {self.num_workers}")
         if self.top_k < 1:
             raise ValueError(f"top_k must be >= 1, got {self.top_k}")
         unknown = [name for name in self.enabled_units if name not in UNIT_NAMES]

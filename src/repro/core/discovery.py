@@ -173,7 +173,10 @@ class TransformationDiscovery:
         transformations = self._generate(generation_pairs, stats, timer)
 
         computer = CoverageComputer(
-            pairs, use_unit_cache=self._config.use_unit_cache, stats=stats
+            pairs,
+            use_unit_cache=self._config.use_unit_cache,
+            stats=stats,
+            num_workers=self._config.num_workers,
         )
         with timer.stage("applying_transformations"):
             results = computer.coverage_of_all(

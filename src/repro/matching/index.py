@@ -45,6 +45,31 @@ from repro.matching.ngrams import unique_ngrams_by_size
 _EMPTY_POSTINGS: Final = array("i")
 
 
+def _representative_of(
+    grams: Sequence[str],
+    source_frequency: dict[str, int],
+    target_frequency: dict[str, int],
+) -> str | None:
+    """The highest-Rscore n-gram of *grams* (None when the list is empty).
+
+    Same arithmetic as ``scoring.representative_score`` so floating-point
+    behaviour is identical to the reference matcher, and ties break towards
+    the lexicographically smallest n-gram — which makes the selection
+    independent of the iteration order of *grams* (and therefore of the
+    per-process string-hash seed, a requirement of the sharded matcher).
+    """
+    best: str | None = None
+    best_score = 0.0
+    for gram in grams:
+        score = (1.0 / source_frequency[gram]) * (1.0 / target_frequency[gram])
+        if score > best_score:
+            best_score = score
+            best = gram
+        elif score == best_score and best is not None and gram < best:
+            best = gram
+    return best
+
+
 class InvertedIndex:
     """Map n-grams (of a range of sizes) to the ids of rows containing them."""
 
@@ -232,6 +257,25 @@ class InvertedIndex:
         column — all others score 0), so no per-row re-tokenisation or
         sorting happens at match time.
         """
+        per_row_grams, source_frequency = self.source_grams(source_values)
+        return self.representatives_from(per_row_grams, source_frequency)
+
+    def source_grams(
+        self, source_values: Sequence[str]
+    ) -> tuple[list[list[list[str]]], dict[str, int]]:
+        """The counting pass of the fused Algorithm 1, split out for sharding.
+
+        Tokenises every source row once, keeps only n-grams that occur in the
+        target column (anything else has Rscore 0 and can never be a
+        representative), and counts their source-side row frequencies.
+        Returns ``(per_row_grams, source_frequency)`` where
+        ``per_row_grams[row]`` holds one kept-gram list per n-gram size.
+
+        Selection needs the *global* frequencies, which no single row shard
+        can compute — so the sharded matcher runs this once in the parent and
+        shares both outputs with the workers, which then only score and emit
+        (no re-tokenisation anywhere).
+        """
         target_frequency = self._frequency
         source_frequency: dict[str, int] = {}
         per_row_grams: list[list[list[str]]] = []
@@ -245,25 +289,31 @@ class InvertedIndex:
                     source_frequency[gram] = source_frequency.get(gram, 0) + 1
                 per_size.append(kept)
             per_row_grams.append(per_size)
+        return per_row_grams, source_frequency
 
+    def representatives_from(
+        self,
+        per_row_grams: Sequence[Sequence[Sequence[str]]],
+        source_frequency: dict[str, int],
+        *,
+        start: int = 0,
+        stop: int | None = None,
+    ) -> list[list[str]]:
+        """The selection pass: representatives of rows ``[start, stop)``.
+
+        Operates on the outputs of :meth:`source_grams`.  Row shards
+        evaluated this way concatenate to exactly the full
+        :meth:`representatives` output: selection is per-row and the
+        tie-breaking of :func:`_representative_of` is order-independent.
+        """
+        if stop is None:
+            stop = len(per_row_grams)
+        target_frequency = self._frequency
         representatives: list[list[str]] = []
-        for per_size in per_row_grams:
+        for row in range(start, stop):
             row_representatives: list[str] = []
-            for kept in per_size:
-                best: str | None = None
-                best_score = 0.0
-                for gram in kept:
-                    # Same arithmetic as scoring.representative_score so that
-                    # floating-point behaviour (and therefore tie-breaking)
-                    # is identical to the reference matcher.
-                    score = (1.0 / source_frequency[gram]) * (
-                        1.0 / target_frequency[gram]
-                    )
-                    if score > best_score:
-                        best_score = score
-                        best = gram
-                    elif score == best_score and best is not None and gram < best:
-                        best = gram
+            for kept in per_row_grams[row]:
+                best = _representative_of(kept, source_frequency, target_frequency)
                 if best is not None:
                     row_representatives.append(best)
             representatives.append(row_representatives)

@@ -26,10 +26,11 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections.abc import Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.pairs import RowPair
 from repro.matching.index import InvertedIndex
+from repro.parallel.executor import env_default_workers, resolve_num_workers
 from repro.table.table import Table
 
 
@@ -39,6 +40,16 @@ class MatchingConfig:
 
     The defaults follow Section 6.2 of the paper: representative n-grams of
     sizes 4 through 20, lower-cased comparison.
+
+    ``stop_gram_cap`` stays 0 (exact Algorithm 1) by default: the calibration
+    sweep in ``benchmarks/bench_stop_gram_cap.py`` measures the
+    recall/runtime trade-off of enabling it.
+
+    ``num_workers`` shards source rows across worker processes (1 = serial,
+    0 = all cores; the default honours ``REPRO_NUM_WORKERS``).  Candidate
+    pairs are identical to the serial matcher — same pairs, same order,
+    including Rscore ties — because representative selection runs against
+    global source frequencies computed once in the parent.
     """
 
     min_ngram: int = 4
@@ -46,6 +57,7 @@ class MatchingConfig:
     lowercase: bool = True
     max_candidates_per_row: int = 0  # 0 = unlimited (many-to-many joins)
     stop_gram_cap: int = 0  # 0 = no stop-gram pruning (exact Algorithm 1)
+    num_workers: int = field(default_factory=env_default_workers)
 
     def __post_init__(self) -> None:
         if self.min_ngram <= 0:
@@ -63,6 +75,61 @@ class MatchingConfig:
             raise ValueError(
                 f"stop_gram_cap must be >= 0, got {self.stop_gram_cap}"
             )
+        if self.num_workers < 0:
+            raise ValueError(
+                f"num_workers must be >= 0, got {self.num_workers}"
+            )
+
+
+def emit_candidate_pairs(
+    source_values: Sequence[str],
+    target_values: Sequence[str],
+    target_index: InvertedIndex,
+    representatives: Sequence[Sequence[str]],
+    max_candidates_per_row: int,
+    *,
+    row_offset: int = 0,
+) -> list[RowPair]:
+    """Emit candidate pairs by scanning the representatives' posting arrays.
+
+    The emission loop of the packed matcher, shared by the serial path (all
+    rows, ``row_offset=0``) and the sharded path (a contiguous slice of the
+    source rows, with *row_offset* restoring global source-row ids).
+    *representatives* is aligned with *source_values*; emission is per-row,
+    so shard outputs concatenate to exactly the serial output.
+    """
+    pairs: list[RowPair] = []
+    append_pair = pairs.append
+    cap = max_candidates_per_row
+    for local_row, source_text in enumerate(source_values):
+        source_row = row_offset + local_row
+        # A source row can never repeat a candidate (representatives'
+        # postings are deduplicated below), so no (source, target) pair
+        # can occur twice — candidate dedup per row is all that's needed.
+        seen: set[int] = set()
+        seen_add = seen.add
+        emitted = 0
+        for representative in representatives[local_row]:
+            if cap and emitted >= cap:
+                # The reference truncates the candidate list to its first
+                # `cap` entries; later candidates can be skipped entirely.
+                break
+            for target_row in target_index.rows_containing(representative):
+                if target_row in seen:
+                    continue
+                seen_add(target_row)
+                if cap and emitted >= cap:
+                    break
+                emitted += 1
+                append_pair(
+                    RowPair(
+                        source=source_text,
+                        target=target_values[target_row],
+                        source_row=source_row,
+                        target_row=target_row,
+                    )
+                )
+    return pairs
 
 
 class RowMatcher(ABC):
@@ -128,8 +195,14 @@ class NGramRowMatcher(RowMatcher):
         build pass, then emit candidates by scanning the representatives'
         sorted posting arrays (size-major, ascending row id — the exact
         order of the reference implementation).
+
+        With ``num_workers`` above 1 the selection and emission are sharded
+        over source rows (:mod:`repro.parallel.matching`); the returned pairs
+        are identical either way.
         """
         config = self._config
+        source_values = list(source_values)
+        target_values = list(target_values)
         target_index = InvertedIndex.build(
             target_values,
             min_size=config.min_ngram,
@@ -137,39 +210,29 @@ class NGramRowMatcher(RowMatcher):
             lowercase=config.lowercase,
             stop_gram_cap=config.stop_gram_cap,
         )
-        representatives = target_index.representatives(source_values)
+        # More workers than source rows would fork processes with nothing
+        # to do.
+        num_workers = min(
+            resolve_num_workers(config.num_workers), len(source_values)
+        )
+        if num_workers > 1 and target_values:
+            from repro.parallel.matching import sharded_match
 
-        pairs: list[RowPair] = []
-        append_pair = pairs.append
-        cap = config.max_candidates_per_row
-        for source_row, source_text in enumerate(source_values):
-            # A source row can never repeat a candidate (representatives'
-            # postings are deduplicated below), so no (source, target) pair
-            # can occur twice — candidate dedup per row is all that's needed.
-            seen: set[int] = set()
-            seen_add = seen.add
-            emitted = 0
-            for representative in representatives[source_row]:
-                if cap and emitted >= cap:
-                    # The reference truncates the candidate list to its first
-                    # `cap` entries; later candidates can be skipped entirely.
-                    break
-                for target_row in target_index.rows_containing(representative):
-                    if target_row in seen:
-                        continue
-                    seen_add(target_row)
-                    if cap and emitted >= cap:
-                        break
-                    emitted += 1
-                    append_pair(
-                        RowPair(
-                            source=source_text,
-                            target=target_values[target_row],
-                            source_row=source_row,
-                            target_row=target_row,
-                        )
-                    )
-        return pairs
+            return sharded_match(
+                target_index,
+                source_values,
+                target_values,
+                max_candidates_per_row=config.max_candidates_per_row,
+                num_workers=num_workers,
+            )
+        representatives = target_index.representatives(source_values)
+        return emit_candidate_pairs(
+            source_values,
+            target_values,
+            target_index,
+            representatives,
+            config.max_candidates_per_row,
+        )
 
 
 class GoldenRowMatcher(RowMatcher):

@@ -1,0 +1,42 @@
+"""Process-sharded execution of the matching/coverage hot path.
+
+Rows are independent in both hot stages of the pipeline, so this package
+shards them across a process pool while keeping results byte-identical to
+the serial engines (which remain the executable spec):
+
+* :mod:`repro.parallel.executor` — the :class:`ShardedExecutor`: one pool
+  per run, read-only state (packed index, frozen unit trie) shared
+  copy-on-write under fork or pickled once per worker under spawn, guided
+  shard sizing with a work-stealing task queue, deterministic in-order
+  merges;
+* :mod:`repro.parallel.coverage` — row-sharded batched coverage (identical
+  covered rows always, identical cache statistics from a cold cache —
+  workers never see a computer's warmed persistent cache);
+* :mod:`repro.parallel.matching` — source-row-sharded candidate matching
+  (identical pairs, order and Rscore tie behaviour).
+
+The knobs are ``DiscoveryConfig.num_workers`` and
+``MatchingConfig.num_workers`` (1 = serial, 0 = all cores; defaults honour
+the ``REPRO_NUM_WORKERS`` environment variable), surfaced on the CLI as
+``--num-workers`` and on the perf harness as ``--workers``.
+"""
+
+from repro.parallel.executor import (
+    ShardedExecutor,
+    default_start_method,
+    env_default_workers,
+    map_sharded,
+    resolve_num_workers,
+    shard_plan,
+    worker_state,
+)
+
+__all__ = [
+    "ShardedExecutor",
+    "default_start_method",
+    "env_default_workers",
+    "map_sharded",
+    "resolve_num_workers",
+    "shard_plan",
+    "worker_state",
+]

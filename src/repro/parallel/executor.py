@@ -1,0 +1,261 @@
+"""The shared-index process executor behind the sharded engines.
+
+Both hot stages of the pipeline — batched coverage and row matching — are
+embarrassingly parallel over rows, but the read-only structures they walk
+(the frozen unit-prefix trie, the packed
+:class:`~repro.matching.index.InvertedIndex`) are large, and shipping them
+with every task would drown the win in serialization.  The
+:class:`ShardedExecutor` therefore shares that state with the pool exactly
+once per run:
+
+* **fork** (the default wherever available): the state is handed to the pool
+  initializer *before* the children are forked, so every worker inherits the
+  parent's objects through copy-on-write memory — nothing is pickled at all;
+* **spawn / forkserver** (the fallback for platforms without fork): the same
+  initializer arguments are pickled once per worker process at pool start-up,
+  never per task.
+
+Tasks themselves are tiny ``(start, stop)`` row ranges.  The shard plan is a
+guided, decreasing schedule (early shards large, tail shards small) and the
+pool's shared task queue hands shards to whichever worker goes idle first, so
+a slow shard steals less total wall-clock than static splitting would.
+Results are collected in submission order, which keeps every sharded engine's
+merge deterministic.
+
+The executor is deliberately run-scoped: ``with ShardedExecutor(state, ...)``
+forks the pool, runs the shards, and tears the pool down.  Workers never
+outlive the run, so mutable caches built inside a worker can never leak into
+a later computation.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections.abc import Callable, Sequence
+from typing import Any
+
+#: Distinct "not installed" marker, so that None remains a valid shared state.
+_STATE_NOT_INSTALLED: Any = object()
+
+#: Read-only state installed into each worker process by the pool initializer.
+_WORKER_STATE: Any = _STATE_NOT_INSTALLED
+
+
+def _install_worker_state(state: Any) -> None:
+    """Pool initializer: stash the shared read-only state in the worker."""
+    global _WORKER_STATE
+    _WORKER_STATE = state
+
+
+def worker_state() -> Any:
+    """The shared state of the current worker process.
+
+    Raises ``RuntimeError`` when called outside a :class:`ShardedExecutor`
+    worker (i.e. before the pool initializer ran).
+    """
+    if _WORKER_STATE is _STATE_NOT_INSTALLED:
+        raise RuntimeError(
+            "no shared worker state installed; worker functions must run "
+            "inside a ShardedExecutor pool"
+        )
+    return _WORKER_STATE
+
+
+def resolve_num_workers(num_workers: int) -> int:
+    """Resolve a ``num_workers`` knob to an actual worker count.
+
+    ``0`` means "all cores" (``os.cpu_count()``); positive values are taken
+    literally; negative values are rejected.
+    """
+    if num_workers < 0:
+        raise ValueError(f"num_workers must be >= 0, got {num_workers}")
+    if num_workers == 0:
+        return os.cpu_count() or 1
+    return num_workers
+
+
+def env_default_workers(default: int = 1) -> int:
+    """The default worker count, overridable via ``REPRO_NUM_WORKERS``.
+
+    The configuration dataclasses use this as their ``num_workers`` default
+    factory, so an entire run (CLI, tests, benchmarks) can be switched to a
+    sharded configuration without touching call sites — CI uses it to run the
+    tier-1 suite with two workers.  Unset or empty means *default* (serial);
+    the value follows :func:`resolve_num_workers` semantics (0 = all cores).
+    """
+    value = os.environ.get("REPRO_NUM_WORKERS", "").strip()
+    if not value:
+        return default
+    try:
+        workers = int(value)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_NUM_WORKERS must be an integer, got {value!r}"
+        ) from None
+    if workers < 0:
+        raise ValueError(f"REPRO_NUM_WORKERS must be >= 0, got {workers}")
+    return workers
+
+
+def default_start_method() -> str:
+    """The multiprocessing start method sharded engines use.
+
+    Prefers ``fork`` (state is shared copy-on-write, pool start-up is
+    milliseconds); falls back to ``spawn`` elsewhere.  The environment
+    variable ``REPRO_START_METHOD`` forces a specific method — the
+    equivalence tests use it to exercise the pickle-once fallback on
+    platforms whose default is fork.
+    """
+    override = os.environ.get("REPRO_START_METHOD", "").strip()
+    available = multiprocessing.get_all_start_methods()
+    if override:
+        if override not in available:
+            raise ValueError(
+                f"REPRO_START_METHOD={override!r} is not available on this "
+                f"platform; choices: {available}"
+            )
+        return override
+    return "fork" if "fork" in available else "spawn"
+
+
+def shard_plan(num_items: int, num_workers: int) -> list[tuple[int, int]]:
+    """Contiguous ``(start, stop)`` shards covering ``range(num_items)``.
+
+    A guided, decreasing schedule: each shard takes ``remaining / (2 *
+    workers)`` items (at least one), so early shards are large (low dispatch
+    overhead) and the tail is fine-grained (good load balance when per-row
+    cost is skewed).  Shards are contiguous, ascending and exhaustive — the
+    plan only affects scheduling, never results.
+    """
+    if num_items < 0:
+        raise ValueError(f"num_items must be >= 0, got {num_items}")
+    if num_workers < 1:
+        raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+    denominator = 2 * num_workers
+    shards: list[tuple[int, int]] = []
+    start = 0
+    while start < num_items:
+        remaining = num_items - start
+        size = remaining // denominator
+        if size < 1:
+            size = 1
+        shards.append((start, start + size))
+        start += size
+    return shards
+
+
+class ShardedExecutor:
+    """A run-scoped process pool sharing read-only state with its workers.
+
+    Parameters
+    ----------
+    state:
+        Arbitrary read-only object made available to worker functions via
+        :func:`worker_state`.  Shared copy-on-write under fork; pickled once
+        per worker under spawn/forkserver.
+    num_workers:
+        Pool size (already resolved; must be >= 1).
+    start_method:
+        Multiprocessing start method; defaults to
+        :func:`default_start_method`.
+    task_timeout:
+        Optional per-shard timeout in seconds; a worker exceeding it raises
+        ``multiprocessing.TimeoutError`` in the parent instead of hanging the
+        run forever (CI additionally applies a job-level timeout).
+    """
+
+    def __init__(
+        self,
+        state: Any,
+        *,
+        num_workers: int,
+        start_method: str | None = None,
+        task_timeout: float | None = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        self._state = state
+        self._num_workers = num_workers
+        self._start_method = start_method or default_start_method()
+        self._task_timeout = task_timeout
+        self._pool: multiprocessing.pool.Pool | None = None
+
+    @property
+    def num_workers(self) -> int:
+        """The pool size."""
+        return self._num_workers
+
+    @property
+    def start_method(self) -> str:
+        """The start method the pool is created with."""
+        return self._start_method
+
+    def __enter__(self) -> "ShardedExecutor":
+        context = multiprocessing.get_context(self._start_method)
+        self._pool = context.Pool(
+            processes=self._num_workers,
+            initializer=_install_worker_state,
+            initargs=(self._state,),
+        )
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        pool = self._pool
+        self._pool = None
+        if pool is None:
+            return
+        if exc_type is None:
+            pool.close()
+        else:
+            # A failed run must not leave workers grinding through the
+            # remaining shards.
+            pool.terminate()
+        pool.join()
+
+    def map_shards(self, worker: Callable[[int, int], Any], num_items: int) -> list[Any]:
+        """Run ``worker(start, stop)`` over every shard of ``range(num_items)``.
+
+        All shards are submitted up front; idle workers pull the next shard
+        from the shared queue (the work-stealing behaviour).  Results are
+        returned in shard order regardless of completion order, so callers
+        can merge deterministically.
+        """
+        if self._pool is None:
+            raise RuntimeError("ShardedExecutor must be entered before use")
+        pending = [
+            self._pool.apply_async(worker, shard)
+            for shard in shard_plan(num_items, self._num_workers)
+        ]
+        return [result.get(self._task_timeout) for result in pending]
+
+
+def map_sharded(
+    state: Any,
+    worker: Callable[[int, int], Any],
+    num_items: int,
+    *,
+    num_workers: int,
+    start_method: str | None = None,
+    task_timeout: float | None = None,
+) -> list[Any]:
+    """One-shot convenience: pool up, map the shards, tear the pool down."""
+    executor = ShardedExecutor(
+        state,
+        num_workers=num_workers,
+        start_method=start_method,
+        task_timeout=task_timeout,
+    )
+    with executor:
+        return executor.map_shards(worker, num_items)
+
+
+__all__: Sequence[str] = (
+    "ShardedExecutor",
+    "default_start_method",
+    "env_default_workers",
+    "map_sharded",
+    "resolve_num_workers",
+    "shard_plan",
+    "worker_state",
+)

@@ -11,9 +11,13 @@ byte-identical-results check — in one report.
 
 Run it with ``python -m repro.perf`` (see ``--help``); ``--smoke`` executes
 the smallest ladder rung only and fails loudly when stage timings are missing
-or outputs are empty, which CI uses to keep the hot path honest.
+or outputs are empty, which CI uses to keep the hot path honest.  The
+``--workers`` axis sweeps the process-sharded engines
+(:mod:`repro.parallel`) next to the serial fast path, recording per-rung
+speedup and parallel efficiency; the payload's ``host`` block (CPU count,
+start method) keeps those numbers interpretable across machines.
 """
 
-from repro.perf.runner import BenchmarkRunner, validate_payload
+from repro.perf.runner import BenchmarkRunner, host_metadata, validate_payload
 
-__all__ = ["BenchmarkRunner", "validate_payload"]
+__all__ = ["BenchmarkRunner", "host_metadata", "validate_payload"]

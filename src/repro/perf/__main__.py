@@ -2,15 +2,17 @@
 
 Examples
 --------
-Full before/after ladder (writes ``BENCH_matching.json`` and
-``BENCH_discovery.json`` to the repository root)::
+Full before/after ladder with the multi-worker axis (writes
+``BENCH_matching.json`` and ``BENCH_discovery.json`` to the repository
+root)::
 
-    PYTHONPATH=src python -m repro.perf --out .
+    PYTHONPATH=src python -m repro.perf --out . --workers 1,2,4,8
 
 CI smoke (smallest rung, packed engine only, fails when stage timings are
-missing or outputs are empty)::
+missing or outputs are empty; ``--workers 1,2`` additionally smoke-tests the
+process-sharded path and its identical-results flag)::
 
-    PYTHONPATH=src python -m repro.perf --smoke --out /tmp/bench
+    PYTHONPATH=src python -m repro.perf --smoke --out /tmp/bench --workers 1,2
 """
 
 from __future__ import annotations
@@ -20,6 +22,7 @@ import sys
 
 from repro.perf.runner import (
     DEFAULT_LADDER,
+    DEFAULT_WORKERS,
     ENGINES,
     BenchmarkRunner,
     validate_payload,
@@ -38,6 +41,20 @@ def _parse_ladder(text: str) -> tuple[int, ...]:
             f"ladder rungs must be positive, got {list(ladder)}"
         )
     return ladder
+
+
+def _parse_workers(text: str) -> tuple[int, ...]:
+    try:
+        workers = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError as error:
+        raise argparse.ArgumentTypeError(f"bad workers {text!r}: {error}") from None
+    if not workers:
+        raise argparse.ArgumentTypeError("workers must contain at least one count")
+    if any(count <= 0 for count in workers):
+        raise argparse.ArgumentTypeError(
+            f"worker counts must be positive, got {list(workers)}"
+        )
+    return workers
 
 
 def _parse_engines(text: str) -> tuple[str, ...]:
@@ -72,6 +89,16 @@ def build_parser() -> argparse.ArgumentParser:
         type=_parse_engines,
         default=ENGINES,
         help="comma-separated engines out of seed,packed (default: both)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=_parse_workers,
+        default=DEFAULT_WORKERS,
+        help=(
+            "comma-separated worker counts swept for the packed engine, "
+            "e.g. 1,2,4,8 (default: %(default)s); results stay identical, "
+            "per-rung speedup and parallel efficiency are recorded"
+        ),
     )
     parser.add_argument(
         "--max-seed-rows",
@@ -123,6 +150,7 @@ def main(argv: list[str] | None = None) -> int:
         row_length=args.row_length,
         sample_size=args.sample_size,
         seed=args.seed,
+        workers=args.workers,
         output_dir=args.out,
     )
 
@@ -150,7 +178,17 @@ def main(argv: list[str] | None = None) -> int:
             identical = (
                 f", identical={rung['identical']}" if "identical" in rung else ""
             )
-            print(f"[{benchmark}] rows={rung['rows']}: {summary}{speedup}{identical}")
+            parallel = ""
+            if "parallel" in rung:
+                parallel = ", " + ", ".join(
+                    f"{label}={info['speedup_vs_serial']}x"
+                    f" (eff {info['efficiency']})"
+                    for label, info in rung["parallel"].items()
+                )
+            print(
+                f"[{benchmark}] rows={rung['rows']}: "
+                f"{summary}{speedup}{parallel}{identical}"
+            )
         print(f"[{benchmark}] wrote {path}")
 
     if problems:

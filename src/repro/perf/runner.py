@@ -9,16 +9,21 @@ writes a JSON report whose schema is stable enough to diff across PRs:
 
     {
       "benchmark": "discovery",
-      "config": {...generation and engine parameters...},
+      "host": {"cpu_count": ..., "start_method": ...},   # parallel context
+      "config": {...generation and engine parameters, "workers": [1, 2, ...]},
       "rungs": [
         {
           "rows": 10000,
           "engines": {
-            "seed":   {"stages": {...}, "total_s": ..., "num_pairs": ...},
-            "packed": {"stages": {...}, "total_s": ..., "num_pairs": ...}
+            "seed":      {"stages": {...}, "total_s": ..., "num_pairs": ...},
+            "packed":    {"stages": {...}, "total_s": ..., "num_pairs": ...},
+            "packed-w4": {..., "num_workers": 4}          # workers axis
           },
-          "identical": true,        # packed results byte-identical to seed
-          "speedup": 7.9            # seed total_s / packed total_s
+          "identical": true,        # every engine/worker variant agrees
+          "speedup": 7.9,           # seed total_s / packed total_s
+          "parallel": {
+            "packed-w4": {"workers": 4, "speedup_vs_serial": ..., "efficiency": ...}
+          }
         },
         ...
       ]
@@ -26,12 +31,17 @@ writes a JSON report whose schema is stable enough to diff across PRs:
 
 ``identical`` is computed from the actual candidate-pair lists and discovered
 covers, not from counts — the harness doubles as a large-scale equivalence
-test for the packed fast path.
+test for the packed fast path and its process-sharded variants.  The
+``host`` block (CPU count, start method) is what makes multi-worker numbers
+interpretable across machines: an ``efficiency`` of 0.5 at 4 workers is poor
+scaling on 8 cores and the physical ceiling on 2.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import platform
 import time
 from collections.abc import Sequence
 from pathlib import Path
@@ -41,6 +51,7 @@ from repro.core.discovery import DiscoveryResult, TransformationDiscovery
 from repro.datasets.synthetic import SyntheticConfig, generate_table_pair
 from repro.matching.reference import ReferenceRowMatcher
 from repro.matching.row_matcher import MatchingConfig, NGramRowMatcher, RowMatcher
+from repro.parallel.executor import default_start_method
 
 #: The default synthetic size ladder (number of rows per rung).
 DEFAULT_LADDER: tuple[int, ...] = (1000, 5000, 10000, 25000)
@@ -49,6 +60,24 @@ DEFAULT_LADDER: tuple[int, ...] = (1000, 5000, 10000, 25000)
 #: implementation (reference matcher + unbatched coverage); "packed" is the
 #: packed-index matcher + trie-batched coverage.
 ENGINES: tuple[str, ...] = ("seed", "packed")
+
+#: The default workers axis: serial only.  The checked-in BENCH files are
+#: regenerated with ``--workers 1,2,4,8``.
+DEFAULT_WORKERS: tuple[int, ...] = (1,)
+
+
+def host_metadata() -> dict:
+    """Host facts that make multi-worker numbers comparable across machines.
+
+    Parallel speedup is meaningless without knowing how many cores the run
+    had; every BENCH payload embeds this block.
+    """
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "start_method": default_start_method(),
+    }
 
 
 class BenchmarkRunner:
@@ -67,6 +96,13 @@ class BenchmarkRunner:
     seed:
         Base RNG seed; rung *n* uses ``seed + n`` so inputs are reproducible
         and identical across engines.
+    workers:
+        Worker counts swept for the packed engine (the seed engine is
+        inherently serial).  ``1`` records the serial fast path under the
+        plain ``packed`` key and is always included — it is the baseline of
+        every speedup/efficiency figure; higher counts are recorded as
+        ``packed-w<n>`` with speedup-vs-serial and parallel efficiency per
+        rung.
     output_dir:
         Where :meth:`write` puts ``BENCH_<name>.json`` (default: cwd).
     """
@@ -78,38 +114,55 @@ class BenchmarkRunner:
         row_length: int = 28,
         sample_size: int = 200,
         seed: int = 0,
+        workers: Sequence[int] = DEFAULT_WORKERS,
         output_dir: str | Path | None = None,
     ) -> None:
         if not ladder:
             raise ValueError("ladder must contain at least one rung")
         if any(rung <= 0 for rung in ladder):
             raise ValueError(f"ladder rungs must be positive, got {list(ladder)}")
+        if not workers:
+            raise ValueError("workers must contain at least one worker count")
+        if any(count <= 0 for count in workers):
+            raise ValueError(
+                f"worker counts must be positive, got {list(workers)}"
+            )
         self.ladder = tuple(ladder)
         self.row_length = row_length
         self.sample_size = sample_size
         self.seed = seed
+        # The serial packed run is the baseline every speedup/efficiency
+        # figure is computed against, so it always joins the axis.
+        self.workers = tuple(dict.fromkeys((1, *workers)))
         self.output_dir = Path(output_dir) if output_dir is not None else Path.cwd()
 
     # ------------------------------------------------------------------ #
     # Engines and inputs
     # ------------------------------------------------------------------ #
-    def matcher_for(self, engine: str) -> RowMatcher:
+    def matcher_for(self, engine: str, num_workers: int = 1) -> RowMatcher:
         """The row matcher of *engine* ("seed" or "packed")."""
-        config = MatchingConfig()
         if engine == "seed":
-            return ReferenceRowMatcher(config)
+            if num_workers != 1:
+                raise ValueError("the seed engine is serial; num_workers must be 1")
+            return ReferenceRowMatcher(MatchingConfig())
         if engine == "packed":
-            return NGramRowMatcher(config)
+            return NGramRowMatcher(MatchingConfig(num_workers=num_workers))
         raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
 
-    def discovery_for(self, engine: str) -> TransformationDiscovery:
+    def discovery_for(self, engine: str, num_workers: int = 1) -> TransformationDiscovery:
         """The discovery engine of *engine* ("seed" or "packed")."""
         if engine == "seed":
+            if num_workers != 1:
+                raise ValueError("the seed engine is serial; num_workers must be 1")
             config = DiscoveryConfig(
-                sample_size=self.sample_size, use_batched_coverage=False
+                sample_size=self.sample_size,
+                use_batched_coverage=False,
+                num_workers=1,
             )
         elif engine == "packed":
-            config = DiscoveryConfig(sample_size=self.sample_size)
+            config = DiscoveryConfig(
+                sample_size=self.sample_size, num_workers=num_workers
+            )
         else:
             raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
         return TransformationDiscovery(config)
@@ -136,11 +189,12 @@ class BenchmarkRunner:
         num_rows: int,
         engine: str,
         *,
+        num_workers: int = 1,
         values: tuple[list[str], list[str]] | None = None,
     ) -> tuple[dict, list]:
         """Time row matching at one rung; returns (record, pairs)."""
         source_values, target_values = values or self.rung_values(num_rows)
-        matcher = self.matcher_for(engine)
+        matcher = self.matcher_for(engine, num_workers)
         started = time.perf_counter()
         pairs = matcher.match_values(source_values, target_values)
         elapsed = time.perf_counter() - started
@@ -148,6 +202,7 @@ class BenchmarkRunner:
             "stages": {"row_matching": elapsed},
             "total_s": elapsed,
             "num_pairs": len(pairs),
+            "num_workers": num_workers,
         }
         return record, pairs
 
@@ -156,6 +211,7 @@ class BenchmarkRunner:
         num_rows: int,
         engine: str,
         *,
+        num_workers: int = 1,
         row_length: int | None = None,
         values: tuple[list[str], list[str]] | None = None,
     ) -> tuple[dict, list, DiscoveryResult]:
@@ -167,8 +223,8 @@ class BenchmarkRunner:
         source_values, target_values = values or self.rung_values(
             num_rows, row_length=row_length
         )
-        matcher = self.matcher_for(engine)
-        discovery = self.discovery_for(engine)
+        matcher = self.matcher_for(engine, num_workers)
+        discovery = self.discovery_for(engine, num_workers)
 
         started = time.perf_counter()
         pairs = matcher.match_values(source_values, target_values)
@@ -189,6 +245,7 @@ class BenchmarkRunner:
             "num_transformations": result.stats.unique_transformations,
             "cover_size": len(result.cover),
             "top_coverage": result.top_coverage,
+            "num_workers": num_workers,
         }
         return record, pairs, result
 
@@ -231,41 +288,82 @@ class BenchmarkRunner:
                     # The seed engine is O(slow); cap how far up the ladder it
                     # climbs.  The packed engine still records the rung.
                     continue
-                if discovery:
-                    record, pairs, result = self.discovery_rung(
-                        num_rows, engine, values=values
-                    )
-                    outputs[engine] = (pairs, result.cover)
-                else:
-                    record, pairs = self.matching_rung(num_rows, engine, values=values)
-                    outputs[engine] = (pairs, None)
-                engine_records[engine] = record
+                # The workers axis applies to the packed engine only; the
+                # seed engine is the serial executable spec.
+                worker_counts = (1,) if engine == "seed" else self.workers
+                for num_workers in worker_counts:
+                    label = engine if num_workers == 1 else f"{engine}-w{num_workers}"
+                    if discovery:
+                        record, pairs, result = self.discovery_rung(
+                            num_rows, engine, num_workers=num_workers, values=values
+                        )
+                        outputs[label] = (pairs, result.cover)
+                    else:
+                        record, pairs = self.matching_rung(
+                            num_rows, engine, num_workers=num_workers, values=values
+                        )
+                        outputs[label] = (pairs, None)
+                    engine_records[label] = record
             rung: dict = {"rows": num_rows, "engines": engine_records}
-            if "seed" in engine_records and "packed" in engine_records:
-                seed_pairs, seed_cover = outputs["seed"]
-                packed_pairs, packed_cover = outputs["packed"]
-                rung["identical"] = (
-                    seed_pairs == packed_pairs and seed_cover == packed_cover
+            if len(outputs) > 1:
+                # One flag for the whole rung: every engine/worker variant
+                # must produce the same pairs and the same cover.
+                baseline_label = "packed" if "packed" in outputs else next(iter(outputs))
+                baseline = outputs[baseline_label]
+                rung["identical"] = all(
+                    output == baseline for output in outputs.values()
                 )
+            if "seed" in engine_records and "packed" in engine_records:
                 packed_total = engine_records["packed"]["total_s"]
                 if packed_total > 0:
                     rung["speedup"] = round(
                         engine_records["seed"]["total_s"] / packed_total, 2
                     )
+            parallel = self._parallel_summary(engine_records)
+            if parallel:
+                rung["parallel"] = parallel
             rungs.append(rung)
         return {
             "benchmark": benchmark,
             "harness": "repro.perf.BenchmarkRunner",
+            "host": host_metadata(),
             "config": {
                 "ladder": list(self.ladder),
                 "row_length": self.row_length,
                 "sample_size": self.sample_size,
                 "seed": self.seed,
                 "engines": list(engines),
+                "workers": list(self.workers),
                 "max_seed_rows": max_seed_rows,
             },
             "rungs": rungs,
         }
+
+    @staticmethod
+    def _parallel_summary(engine_records: dict[str, dict]) -> dict:
+        """Speedup-vs-serial and parallel efficiency of every worker variant.
+
+        Efficiency is ``speedup / workers`` — 1.0 means perfect scaling.
+        Read it against ``host.cpu_count``: with fewer cores than workers the
+        ceiling is ``cpu_count / workers``, not 1.0.
+        """
+        serial = engine_records.get("packed")
+        if serial is None or serial["total_s"] <= 0:
+            return {}
+        summary = {}
+        for label, record in engine_records.items():
+            num_workers = record.get("num_workers", 1)
+            if num_workers <= 1 or not label.startswith("packed"):
+                continue
+            if record["total_s"] <= 0:
+                continue
+            speedup = serial["total_s"] / record["total_s"]
+            summary[label] = {
+                "workers": num_workers,
+                "speedup_vs_serial": round(speedup, 2),
+                "efficiency": round(speedup / num_workers, 2),
+            }
+        return summary
 
     # ------------------------------------------------------------------ #
     # Output

@@ -2,11 +2,22 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings
 
 from repro.core.config import DiscoveryConfig
 from repro.core.discovery import TransformationDiscovery
 from repro.table.table import Table
+
+# CI re-runs the whole suite with REPRO_NUM_WORKERS=2, which makes every
+# default-configured engine fork a small process pool.  Pool start-up is
+# milliseconds but easily exceeds hypothesis's 200ms per-example deadline, so
+# deadlines are disabled for those runs (example counts are unchanged).
+settings.register_profile("sharded-workers", deadline=None)
+if os.environ.get("REPRO_NUM_WORKERS", "").strip() not in ("", "1"):
+    settings.load_profile("sharded-workers")
 
 
 @pytest.fixture

@@ -47,6 +47,42 @@ class TestParser:
                 ["benchmark", "not-a-dataset", "--output-dir", "out"]
             )
 
+    def test_num_workers_defaults_to_config(self):
+        args = build_parser().parse_args(
+            [
+                "discover",
+                "a.csv",
+                "b.csv",
+                "--source-column",
+                "Name",
+                "--target-column",
+                "Name",
+            ]
+        )
+        assert args.num_workers is None
+
+
+class TestNumWorkersFlag:
+    def test_discover_with_workers_matches_serial(self, staff_csvs, capsys):
+        source_path, target_path = staff_csvs
+        argv = [
+            "discover",
+            str(source_path),
+            str(target_path),
+            "--source-column",
+            "Name",
+            "--target-column",
+            "Name",
+        ]
+        # Pin the baseline to serial explicitly: under the CI job that sets
+        # REPRO_NUM_WORKERS=2 a flagless run would itself be sharded and the
+        # comparison would be a tautology.
+        assert main(argv + ["--num-workers", "1"]) == 0
+        serial_output = capsys.readouterr().out
+        assert main(argv + ["--num-workers", "2"]) == 0
+        sharded_output = capsys.readouterr().out
+        assert sharded_output == serial_output
+
 
 class TestDiscoverCommand:
     def test_prints_covering_set(self, staff_csvs, capsys):

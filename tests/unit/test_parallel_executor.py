@@ -1,0 +1,136 @@
+"""Unit tests for the shared-index executor (repro.parallel.executor)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.parallel.executor import (
+    ShardedExecutor,
+    default_start_method,
+    env_default_workers,
+    map_sharded,
+    resolve_num_workers,
+    shard_plan,
+    worker_state,
+)
+
+
+def _shard_sum(start: int, stop: int) -> int:
+    """Sum the shared value list over one shard (must be module-level to pickle)."""
+    values = worker_state()
+    return sum(values[start:stop])
+
+
+def _shard_range(start: int, stop: int) -> list[int]:
+    return list(range(start, stop))
+
+
+class TestResolveNumWorkers:
+    def test_positive_is_literal(self):
+        assert resolve_num_workers(1) == 1
+        assert resolve_num_workers(7) == 7
+
+    def test_zero_resolves_to_cpu_count(self):
+        # The regression contract of the `num_workers=0` knob.
+        assert resolve_num_workers(0) == (os.cpu_count() or 1)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_num_workers(-1)
+
+
+class TestEnvDefaultWorkers:
+    def test_unset_means_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_NUM_WORKERS", raising=False)
+        assert env_default_workers() == 1
+        assert env_default_workers(default=3) == 3
+
+    def test_env_overrides_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NUM_WORKERS", "4")
+        assert env_default_workers() == 4
+
+    def test_bad_values_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NUM_WORKERS", "two")
+        with pytest.raises(ValueError):
+            env_default_workers()
+        monkeypatch.setenv("REPRO_NUM_WORKERS", "-2")
+        with pytest.raises(ValueError):
+            env_default_workers()
+
+
+class TestDefaultStartMethod:
+    def test_prefers_fork_where_available(self, monkeypatch):
+        monkeypatch.delenv("REPRO_START_METHOD", raising=False)
+        import multiprocessing
+
+        expected = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        assert default_start_method() == expected
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_START_METHOD", "spawn")
+        assert default_start_method() == "spawn"
+
+    def test_unknown_override_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_START_METHOD", "teleport")
+        with pytest.raises(ValueError):
+            default_start_method()
+
+
+class TestShardPlan:
+    @pytest.mark.parametrize("num_items", [0, 1, 2, 7, 100, 1001])
+    @pytest.mark.parametrize("num_workers", [1, 2, 3, 8])
+    def test_shards_are_contiguous_ascending_and_exhaustive(
+        self, num_items, num_workers
+    ):
+        shards = shard_plan(num_items, num_workers)
+        expected_start = 0
+        for start, stop in shards:
+            assert start == expected_start
+            assert stop > start
+            expected_start = stop
+        assert expected_start == num_items
+
+    def test_guided_sizing_decreases(self):
+        sizes = [stop - start for start, stop in shard_plan(10000, 4)]
+        assert sizes[0] == 10000 // 8
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_bad_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            shard_plan(-1, 2)
+        with pytest.raises(ValueError):
+            shard_plan(10, 0)
+
+
+class TestShardedExecutor:
+    def test_rejects_non_positive_workers(self):
+        with pytest.raises(ValueError):
+            ShardedExecutor(None, num_workers=0)
+
+    def test_must_be_entered_before_use(self):
+        executor = ShardedExecutor([1, 2, 3], num_workers=2)
+        with pytest.raises(RuntimeError):
+            executor.map_shards(_shard_sum, 3)
+
+    def test_workers_see_shared_state(self):
+        values = list(range(100))
+        with ShardedExecutor(values, num_workers=2) as executor:
+            shard_sums = executor.map_shards(_shard_sum, len(values))
+        assert sum(shard_sums) == sum(values)
+
+    def test_results_come_back_in_shard_order(self):
+        with ShardedExecutor(None, num_workers=3) as executor:
+            shard_results = executor.map_shards(_shard_range, 57)
+        flattened = [item for shard in shard_results for item in shard]
+        assert flattened == list(range(57))
+
+    def test_map_sharded_one_shot(self):
+        values = list(range(40))
+        shard_sums = map_sharded(values, _shard_sum, len(values), num_workers=2)
+        assert sum(shard_sums) == sum(values)
+
+    def test_worker_state_outside_pool_raises(self):
+        with pytest.raises(RuntimeError):
+            worker_state()

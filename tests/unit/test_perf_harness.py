@@ -3,10 +3,11 @@
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 
-from repro.perf import BenchmarkRunner, validate_payload
+from repro.perf import BenchmarkRunner, host_metadata, validate_payload
 from repro.perf.__main__ import main
 
 
@@ -72,6 +73,70 @@ class TestBenchmarkRunner:
         path = runner.write("matching", matching)
         assert path.name == "BENCH_matching.json"
         assert json.loads(path.read_text())["benchmark"] == "matching"
+
+    def test_host_metadata_embedded(self, tiny_runner_payloads):
+        # Multi-core numbers are only interpretable with the host context.
+        _, matching, discovery = tiny_runner_payloads
+        for payload in (matching, discovery):
+            host = payload["host"]
+            assert host["cpu_count"] == (os.cpu_count() or 1)
+            assert host["start_method"] in ("fork", "spawn", "forkserver")
+            assert payload["config"]["workers"] == [1]
+        assert host_metadata()["cpu_count"] == (os.cpu_count() or 1)
+
+
+class TestWorkersAxis:
+    @pytest.fixture(scope="class")
+    def workers_payloads(self, tmp_path_factory):
+        out = tmp_path_factory.mktemp("bench-workers")
+        runner = BenchmarkRunner(
+            ladder=(60,), sample_size=20, workers=(1, 2), output_dir=out
+        )
+        return runner, runner.run_matching(), runner.run_discovery()
+
+    def test_rejects_bad_workers(self):
+        with pytest.raises(ValueError):
+            BenchmarkRunner(ladder=(10,), workers=())
+        with pytest.raises(ValueError):
+            BenchmarkRunner(ladder=(10,), workers=(2, 0))
+
+    def test_seed_engine_is_serial_only(self):
+        runner = BenchmarkRunner(ladder=(10,), workers=(1, 2))
+        with pytest.raises(ValueError):
+            runner.matcher_for("seed", num_workers=2)
+        with pytest.raises(ValueError):
+            runner.discovery_for("seed", num_workers=2)
+
+    def test_records_one_engine_per_worker_count(self, workers_payloads):
+        _, matching, discovery = workers_payloads
+        for payload in (matching, discovery):
+            for rung in payload["rungs"]:
+                assert set(rung["engines"]) == {"seed", "packed", "packed-w2"}
+                assert rung["engines"]["packed-w2"]["num_workers"] == 2
+                assert rung["identical"] is True
+            assert payload["config"]["workers"] == [1, 2]
+            assert validate_payload(payload) == []
+
+    def test_parallel_efficiency_recorded(self, workers_payloads):
+        _, matching, discovery = workers_payloads
+        for payload in (matching, discovery):
+            for rung in payload["rungs"]:
+                parallel = rung["parallel"]["packed-w2"]
+                assert parallel["workers"] == 2
+                assert parallel["speedup_vs_serial"] > 0
+                assert parallel["efficiency"] == pytest.approx(
+                    parallel["speedup_vs_serial"] / 2, abs=0.01
+                )
+
+    def test_identical_compares_worker_variants_without_seed(self):
+        # Even with the seed engine skipped, the rung still carries the
+        # equivalence flag: packed vs packed-w2 on real outputs.
+        runner = BenchmarkRunner(ladder=(40,), sample_size=15, workers=(1, 2))
+        payload = runner.run_matching(engines=("packed",))
+        rung = payload["rungs"][0]
+        assert set(rung["engines"]) == {"packed", "packed-w2"}
+        assert rung["identical"] is True
+        assert "speedup" not in rung
 
 
 class TestValidatePayload:
