@@ -72,6 +72,13 @@ class DiscoveryConfig:
         (:mod:`repro.parallel`); results are byte-identical to the serial
         engine.  Only the batched path shards — with batching (or the unit
         cache) disabled the knob has no effect.
+    min_rows_per_worker:
+        Small-input fast path for the sharded coverage stage: when the rows
+        per worker fall below this threshold (or the host has a single
+        core), the pool is skipped and the serial batched engine runs —
+        identical results, none of the fork cost.  ``None`` (default) reads
+        ``REPRO_MIN_ROWS_PER_WORKER``; 0 disables the tuning so pools fork
+        for any input size.
     top_k:
         How many of the highest-coverage transformations to report.
     case_insensitive:
@@ -100,6 +107,7 @@ class DiscoveryConfig:
     use_unit_cache: bool = True
     use_batched_coverage: bool = True
     num_workers: int = field(default_factory=env_default_workers)
+    min_rows_per_worker: int | None = None
     top_k: int = 5
     case_insensitive: bool = False
     extra: dict = field(default_factory=dict, compare=False)

@@ -8,13 +8,46 @@ Two problem variants:
   every coverable row.  Exact minimal cover is the NP-complete set-cover
   problem; the paper (and this module) uses the classic greedy algorithm with
   its ``H(n) <= ln(n) + 1`` approximation guarantee.
+
+Two coverage-v3 accelerations apply here:
+
+* **Bitset row sets** — covered-row sets are packed integer bitmasks
+  (:attr:`~repro.core.coverage.CoverageResult.covered_mask`), so the greedy
+  marginal gain is one ``(mask & ~covered).bit_count()`` over machine words
+  instead of a Python-level set difference, and unions are single ``|`` ops.
+* **CELF lazy-greedy selection** — coverage gain is submodular (covering
+  more rows first can never *increase* another transformation's marginal
+  gain), so :func:`greedy_minimal_cover` keeps candidates in a max-heap of
+  stale upper bounds and re-evaluates only those whose bound still wins,
+  instead of rescoring every candidate every round (Leskovec et al.'s
+  lazy-greedy / CELF).  Tie-breaking is byte-identical to the plain greedy
+  scan: the heap key ends with the candidate's input index, which is exactly
+  the order the scan's strict ``key < best_key`` comparison preserves.
+
+The plain set-based scan survives as
+:func:`greedy_minimal_cover_reference` — the executable spec the property
+tests compare the CELF engine against, tie for tie.
 """
 
 from __future__ import annotations
 
+import heapq
 from collections.abc import Sequence
 
-from repro.core.coverage import CoverageResult
+from repro.core.coverage import (
+    CoverageResult,
+    mask_from_rows,
+    rows_from_mask,
+)
+
+__all__ = [
+    "cover_fraction",
+    "covered_mask",
+    "covered_rows",
+    "greedy_minimal_cover",
+    "greedy_minimal_cover_reference",
+    "top_k_by_coverage",
+]
 
 
 def top_k_by_coverage(
@@ -25,6 +58,8 @@ def top_k_by_coverage(
     Ties are broken in favour of shorter transformations (fewer placeholders,
     then fewer units overall) so the reported transformation is the most
     readable among equally-covering ones, per the paper's length criterion.
+    ``coverage`` is a bitmask popcount, so ranking never materializes row
+    sets.
     """
     if k < 1:
         raise ValueError(f"k must be >= 1, got {k}")
@@ -40,20 +75,102 @@ def top_k_by_coverage(
     return list(ranked[:k])
 
 
+def _selection_key(result: CoverageResult) -> tuple[int, int, str]:
+    """The gain-independent part of the greedy tie-breaking key."""
+    return (
+        result.transformation.num_placeholders,
+        len(result.transformation),
+        repr(result.transformation),
+    )
+
+
 def greedy_minimal_cover(
     results: Sequence[CoverageResult],
     *,
     min_support: int = 1,
     max_transformations: int | None = None,
 ) -> list[CoverageResult]:
-    """Greedy set cover over the transformations' covered-row sets.
+    """Greedy set cover over the transformations' covered-row bitmasks.
 
     At each step the transformation covering the most *not yet covered* rows
     is selected; transformations whose marginal gain falls below *min_support*
     are never selected (this implements the support threshold used for noisy
     data such as the open-data benchmark).
 
+    This is the CELF lazy-greedy engine: a max-heap of stale gain upper
+    bounds, re-evaluating only the candidates whose bound still tops the
+    heap.  Selection order — including every tie — is identical to
+    :func:`greedy_minimal_cover_reference`, which remains the executable
+    spec.  Two facts make the laziness sound:
+
+    * marginal gain is submodular, so a recomputed gain can only shrink —
+      a stale bound is always an upper bound, and a candidate whose *fresh*
+      gain tops the heap beats every other candidate's true gain;
+    * once a candidate's fresh gain drops below ``min_support`` it can never
+      recover, so it is dropped from the heap permanently (the reference
+      scan keeps skipping it each round, with the same outcome).
+
     Returns the selected transformations in selection order.
+    """
+    if min_support < 1:
+        raise ValueError(f"min_support must be >= 1, got {min_support}")
+
+    # Heap entries are (-gain, placeholders, length, repr, index, round, ...):
+    # the index is unique per entry, so the trailing fields are never compared
+    # and the pop order below the index exactly mirrors the reference scan's
+    # first-wins tie-breaking.
+    heap: list[tuple] = []
+    for index, result in enumerate(results):
+        mask = result.covered_mask
+        gain = mask.bit_count()
+        if gain < min_support:
+            continue
+        placeholders, length, rendering = _selection_key(result)
+        heap.append((-gain, placeholders, length, rendering, index, 0, mask, result))
+    heapq.heapify(heap)
+
+    covered = 0
+    selection_round = 0
+    selected: list[CoverageResult] = []
+    while heap:
+        if max_transformations is not None and len(selected) >= max_transformations:
+            break
+        entry = heapq.heappop(heap)
+        if entry[5] != selection_round:
+            # Stale upper bound: rescore against the current covered set and
+            # push back (or drop when the support threshold is out of reach).
+            mask = entry[6]
+            gain = (mask & ~covered).bit_count()
+            if gain < min_support:
+                continue
+            heapq.heappush(
+                heap,
+                (-gain, entry[1], entry[2], entry[3], entry[4], selection_round)
+                + entry[6:],
+            )
+            continue
+        # Fresh bound on top of the heap: every other candidate's true gain
+        # is bounded by its (lazier) key, so this is the reference scan's
+        # argmin — select it.
+        choice: CoverageResult = entry[7]
+        covered |= entry[6]
+        selected.append(choice)
+        selection_round += 1
+    return selected
+
+
+def greedy_minimal_cover_reference(
+    results: Sequence[CoverageResult],
+    *,
+    min_support: int = 1,
+    max_transformations: int | None = None,
+) -> list[CoverageResult]:
+    """The plain set-based greedy scan — the executable spec of
+    :func:`greedy_minimal_cover`.
+
+    Rescores every remaining candidate each round with Python-set
+    arithmetic.  Kept verbatim from the pre-CELF engine so the equivalence
+    property tests can assert the lazy engine reproduces it tie for tie.
     """
     if min_support < 1:
         raise ValueError(f"min_support must be >= 1, got {min_support}")
@@ -90,16 +207,25 @@ def greedy_minimal_cover(
     return selected
 
 
+def covered_mask(results: Sequence[CoverageResult]) -> int:
+    """Union of the covered-row bitmasks of *results*."""
+    union = 0
+    for result in results:
+        union |= result.covered_mask
+    return union
+
+
 def covered_rows(results: Sequence[CoverageResult]) -> frozenset[int]:
     """Union of the covered-row sets of *results*."""
-    union: set[int] = set()
-    for result in results:
-        union |= result.covered_rows
-    return frozenset(union)
+    return frozenset(rows_from_mask(covered_mask(results)))
 
 
 def cover_fraction(results: Sequence[CoverageResult], num_pairs: int) -> float:
     """Fraction of the input covered by the union of *results*."""
     if num_pairs == 0:
         return 0.0
-    return len(covered_rows(results)) / num_pairs
+    return covered_mask(results).bit_count() / num_pairs
+
+
+# Re-exported for callers that build masks by hand (tests, benchmarks).
+__all__ += ["mask_from_rows", "rows_from_mask"]

@@ -23,11 +23,11 @@ from dataclasses import dataclass, field
 from repro.core.config import DiscoveryConfig
 from repro.core.cover import (
     cover_fraction,
-    covered_rows,
+    covered_mask,
     greedy_minimal_cover,
     top_k_by_coverage,
 )
-from repro.core.coverage import CoverageComputer, CoverageResult
+from repro.core.coverage import CoverageComputer, CoverageResult, rows_from_mask
 from repro.core.generation import TransformationGenerator
 from repro.core.pairs import RowPair, pairs_from_strings
 from repro.core.skeletons import SkeletonBuilder
@@ -97,8 +97,8 @@ class DiscoveryResult:
 
     def uncovered_rows(self) -> frozenset[int]:
         """Indices of input pairs not covered by the covering set."""
-        all_rows = frozenset(range(len(self.pairs)))
-        return all_rows - covered_rows(self.cover)
+        all_rows = (1 << len(self.pairs)) - 1
+        return frozenset(rows_from_mask(all_rows & ~covered_mask(self.cover)))
 
     def summary(self) -> dict[str, float]:
         """Key figures of the run as a flat dict (used by benchmarks)."""
@@ -177,6 +177,7 @@ class TransformationDiscovery:
             use_unit_cache=self._config.use_unit_cache,
             stats=stats,
             num_workers=self._config.num_workers,
+            min_rows_per_worker=self._config.min_rows_per_worker,
         )
         with timer.stage("applying_transformations"):
             results = computer.coverage_of_all(

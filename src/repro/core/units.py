@@ -49,6 +49,22 @@ class TransformationUnit(ABC):
         """True when the unit's output does not depend on the input."""
         return False
 
+    @property
+    def anchor_text(self) -> str | None:
+        """The literal text this unit is guaranteed to emit, or ``None``.
+
+        A transformation covers a row only if every unit's output is a
+        substring of the row's target, so a non-empty anchor restricts the
+        rows a transformation can possibly cover to those whose target
+        contains the anchor.  The batched coverage engine indexes anchors in
+        a per-run unit→row posting table and skips provably-uncovered rows
+        (the literal-anchored candidate prefilter); units without an anchor
+        (everything but :class:`Literal`) contribute nothing to the
+        prefilter, which degrades to a no-op for transformations built
+        entirely from such units.
+        """
+        return None
+
     @abstractmethod
     def describe(self) -> str:
         """Human-readable rendering, e.g. ``Substr(0, 7)``."""
@@ -69,6 +85,11 @@ class Literal(TransformationUnit):
     @property
     def is_constant(self) -> bool:
         return True
+
+    @property
+    def anchor_text(self) -> str | None:
+        # The empty literal is a substring of every target: no anchor.
+        return self.text or None
 
     def describe(self) -> str:
         return f"Literal({self.text!r})"

@@ -102,6 +102,9 @@ class TransformationJoiner:
         coverage_results: Sequence[CoverageResult] | None,
         num_candidate_pairs: int | None,
     ) -> list[Transformation]:
+        # coverage_fraction is a bitmask popcount on the discovery-time
+        # CoverageResults, so support filtering never materializes the
+        # per-transformation row sets, however large discovery's input was.
         if min_support <= 0.0 or not coverage_results:
             return transformations
         if not num_candidate_pairs:

@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 
 from repro.core.pairs import RowPair
 from repro.matching.index import InvertedIndex
-from repro.parallel.executor import env_default_workers, resolve_num_workers
+from repro.parallel.executor import env_default_workers, tuned_num_workers
 from repro.table.table import Table
 
 
@@ -50,6 +50,13 @@ class MatchingConfig:
     pairs are identical to the serial matcher — same pairs, same order,
     including Rscore ties — because representative selection runs against
     global source frequencies computed once in the parent.
+
+    ``min_rows_per_worker`` is the small-input fast path: when the source
+    rows per worker fall below it (or the host has a single core), the pool
+    is skipped and the serial path runs — identical pairs, none of the fork
+    cost.  ``None`` reads ``REPRO_MIN_ROWS_PER_WORKER`` (default
+    :data:`~repro.parallel.executor.DEFAULT_MIN_ITEMS_PER_WORKER`); 0
+    disables the tuning.
     """
 
     min_ngram: int = 4
@@ -58,6 +65,7 @@ class MatchingConfig:
     max_candidates_per_row: int = 0  # 0 = unlimited (many-to-many joins)
     stop_gram_cap: int = 0  # 0 = no stop-gram pruning (exact Algorithm 1)
     num_workers: int = field(default_factory=env_default_workers)
+    min_rows_per_worker: int | None = None
 
     def __post_init__(self) -> None:
         if self.min_ngram <= 0:
@@ -210,10 +218,12 @@ class NGramRowMatcher(RowMatcher):
             lowercase=config.lowercase,
             stop_gram_cap=config.stop_gram_cap,
         )
-        # More workers than source rows would fork processes with nothing
-        # to do.
-        num_workers = min(
-            resolve_num_workers(config.num_workers), len(source_values)
+        # Small-input fast path: more workers than the input justifies
+        # (or a single-core host) fall back to the serial emission.
+        num_workers = tuned_num_workers(
+            config.num_workers,
+            len(source_values),
+            min_items_per_worker=config.min_rows_per_worker,
         )
         if num_workers > 1 and target_values:
             from repro.parallel.matching import sharded_match

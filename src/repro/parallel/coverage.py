@@ -1,13 +1,20 @@
 """Process-sharded batched coverage.
 
 The batched coverage engine walks a frozen unit-prefix trie once per row, and
-every cache it consults is per-row — so sharding the rows across processes
-changes neither the covered rows nor the cache statistics.  The trie is built
-once in the parent and shared with the workers through the
+every structure it consults is per-row — the unit-output memo, the split
+caches, and the lazy literal-prefilter tables (anchor presence and
+required-set viability are evaluated against each row's own target) — so
+sharding the rows across processes changes neither the covered rows nor the
+cache statistics.  The :class:`~repro.core.coverage.PackedTrie` (edges plus
+the anchor posting table and interned required sets) is built once in the
+parent and shared with the workers through the
 :class:`~repro.parallel.executor.ShardedExecutor` (copy-on-write under fork,
 pickled once per worker under spawn); each task is a ``(start, stop)`` row
 range, and each worker walks its shard with fresh per-row caches, exactly as
-the serial engine would for those rows.
+the serial engine would for those rows.  The prefilter therefore shards
+exactly: a worker evaluates an anchor's presence only against targets inside
+its own shard, which is precisely the work the serial walk would do for
+those rows.
 
 The merge is order-preserving: shard results come back in ascending shard
 order and each transformation's covered-row list is extended shard by shard,
@@ -19,7 +26,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.core.coverage import _build_unit_trie, _walk_trie_rows
+from repro.core.coverage import PackedTrie, _build_unit_trie, _walk_trie_rows
 from repro.core.pairs import RowPair
 from repro.core.transformation import Transformation
 from repro.parallel.executor import ShardedExecutor, worker_state
@@ -28,25 +35,23 @@ from repro.parallel.executor import ShardedExecutor, worker_state
 class CoverageShardState:
     """Read-only state shared with coverage workers: pairs + frozen trie."""
 
-    __slots__ = ("pairs", "root_edges", "root_terminals", "use_unit_cache")
+    __slots__ = ("pairs", "trie", "use_unit_cache")
 
     def __init__(
         self,
         pairs: list[RowPair],
-        root_edges: list,
-        root_terminals: list[int],
+        trie: PackedTrie,
         use_unit_cache: bool,
     ) -> None:
         self.pairs = pairs
-        self.root_edges = root_edges
-        self.root_terminals = root_terminals
+        self.trie = trie
         self.use_unit_cache = use_unit_cache
 
     def __getstate__(self):
-        return (self.pairs, self.root_edges, self.root_terminals, self.use_unit_cache)
+        return (self.pairs, self.trie, self.use_unit_cache)
 
     def __setstate__(self, state) -> None:
-        self.pairs, self.root_edges, self.root_terminals, self.use_unit_cache = state
+        self.pairs, self.trie, self.use_unit_cache = state
 
 
 def _coverage_worker(start: int, stop: int):
@@ -61,8 +66,7 @@ def _coverage_worker(start: int, stop: int):
     return _walk_trie_rows(
         shard,
         start,
-        state.root_edges,
-        state.root_terminals,
+        state.trie,
         non_covering_units,
         state.use_unit_cache,
     )
@@ -83,10 +87,8 @@ def sharded_coverage(
     lists the rows covered by ``transformations[i]`` in ascending order —
     byte-identical (rows and statistics) to the serial batched engine.
     """
-    root_edges, root_terminals, _ = _build_unit_trie(list(transformations))
-    state = CoverageShardState(
-        list(pairs), root_edges, root_terminals, use_unit_cache
-    )
+    trie = _build_unit_trie(list(transformations))
+    state = CoverageShardState(list(pairs), trie, use_unit_cache)
     covered: list[list[int]] = [[] for _ in transformations]
     hits = misses = applications = 0
     executor = ShardedExecutor(

@@ -98,6 +98,69 @@ def env_default_workers(default: int = 1) -> int:
     return workers
 
 
+#: Default small-input threshold: a worker must have at least this many items
+#: to be worth forking.  The value is deliberately coarse — at the measured
+#: ~1 ms/row of the batched coverage walk it corresponds to ~0.25 s of work
+#: per worker, comfortably above pool start-up plus dispatch overhead.
+DEFAULT_MIN_ITEMS_PER_WORKER = 256
+
+
+def env_min_items_per_worker(default: int = DEFAULT_MIN_ITEMS_PER_WORKER) -> int:
+    """The small-input threshold, overridable via ``REPRO_MIN_ROWS_PER_WORKER``.
+
+    ``0`` disables the small-input fast path entirely (the equivalence tests
+    and the sharded CI job use it so tiny inputs still exercise real pools).
+    """
+    value = os.environ.get("REPRO_MIN_ROWS_PER_WORKER", "").strip()
+    if not value:
+        return default
+    try:
+        threshold = int(value)
+    except ValueError:
+        raise ValueError(
+            f"REPRO_MIN_ROWS_PER_WORKER must be an integer, got {value!r}"
+        ) from None
+    if threshold < 0:
+        raise ValueError(
+            f"REPRO_MIN_ROWS_PER_WORKER must be >= 0, got {threshold}"
+        )
+    return threshold
+
+
+def tuned_num_workers(
+    num_workers: int,
+    num_items: int,
+    *,
+    min_items_per_worker: int | None = None,
+) -> int:
+    """Resolve a worker knob against the actual input size.
+
+    This is the small-input fast path of the sharded engines: forking a pool
+    costs milliseconds and every shard adds dispatch overhead, so when the
+    work per worker is too small (or the host has a single core, where a
+    pool can only add overhead) the request is scaled down — to fewer
+    workers, or to 1, meaning the caller takes its serial path and no pool
+    is spawned.  Purely a scheduling decision: results are identical for
+    every worker count.
+
+    ``min_items_per_worker=None`` reads :func:`env_min_items_per_worker`;
+    ``0`` (or any non-positive threshold) disables the tuning and returns
+    the resolved worker count clamped to ``num_items`` only.
+    """
+    workers = min(resolve_num_workers(num_workers), max(num_items, 1))
+    if workers <= 1:
+        return workers
+    if min_items_per_worker is None:
+        min_items_per_worker = env_min_items_per_worker()
+    if min_items_per_worker <= 0:
+        return workers
+    if (os.cpu_count() or 1) <= 1:
+        return 1
+    if num_items < workers * min_items_per_worker:
+        workers = max(1, num_items // min_items_per_worker)
+    return workers
+
+
 def default_start_method() -> str:
     """The multiprocessing start method sharded engines use.
 
@@ -155,7 +218,10 @@ class ShardedExecutor:
         :func:`worker_state`.  Shared copy-on-write under fork; pickled once
         per worker under spawn/forkserver.
     num_workers:
-        Pool size (already resolved; must be >= 1).
+        Pool size (already resolved; must be >= 1).  With exactly one
+        worker no pool is spawned at all — the shards run inline in the
+        current process (the small-input fast path; see
+        :func:`tuned_num_workers`).
     start_method:
         Multiprocessing start method; defaults to
         :func:`default_start_method`.
@@ -180,6 +246,7 @@ class ShardedExecutor:
         self._start_method = start_method or default_start_method()
         self._task_timeout = task_timeout
         self._pool: multiprocessing.pool.Pool | None = None
+        self._entered = False
 
     @property
     def num_workers(self) -> int:
@@ -192,15 +259,23 @@ class ShardedExecutor:
         return self._start_method
 
     def __enter__(self) -> "ShardedExecutor":
+        if self._num_workers == 1:
+            # Small-input fast path: one worker needs no pool at all — the
+            # shards run inline in this process, against the same shared
+            # state, with identical results and none of the fork cost.
+            self._entered = True
+            return self
         context = multiprocessing.get_context(self._start_method)
         self._pool = context.Pool(
             processes=self._num_workers,
             initializer=_install_worker_state,
             initargs=(self._state,),
         )
+        self._entered = True
         return self
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self._entered = False
         pool = self._pool
         self._pool = None
         if pool is None:
@@ -219,14 +294,22 @@ class ShardedExecutor:
         All shards are submitted up front; idle workers pull the next shard
         from the shared queue (the work-stealing behaviour).  Results are
         returned in shard order regardless of completion order, so callers
-        can merge deterministically.
+        can merge deterministically.  With one worker the shards run inline
+        (no pool was spawned); the shared state is installed for the
+        duration so worker functions behave identically.
         """
-        if self._pool is None:
+        if not getattr(self, "_entered", False):
             raise RuntimeError("ShardedExecutor must be entered before use")
-        pending = [
-            self._pool.apply_async(worker, shard)
-            for shard in shard_plan(num_items, self._num_workers)
-        ]
+        shards = shard_plan(num_items, self._num_workers)
+        if self._pool is None:
+            global _WORKER_STATE
+            previous = _WORKER_STATE
+            _install_worker_state(self._state)
+            try:
+                return [worker(start, stop) for start, stop in shards]
+            finally:
+                _WORKER_STATE = previous
+        pending = [self._pool.apply_async(worker, shard) for shard in shards]
         return [result.get(self._task_timeout) for result in pending]
 
 
@@ -251,11 +334,14 @@ def map_sharded(
 
 
 __all__: Sequence[str] = (
+    "DEFAULT_MIN_ITEMS_PER_WORKER",
     "ShardedExecutor",
     "default_start_method",
     "env_default_workers",
+    "env_min_items_per_worker",
     "map_sharded",
     "resolve_num_workers",
     "shard_plan",
+    "tuned_num_workers",
     "worker_state",
 )

@@ -18,13 +18,16 @@ process-sharded path and its identical-results flag)::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from pathlib import Path
 
 from repro.perf.runner import (
     DEFAULT_LADDER,
     DEFAULT_WORKERS,
     ENGINES,
     BenchmarkRunner,
+    compare_to_baseline,
     validate_payload,
 )
 
@@ -134,6 +137,25 @@ def build_parser() -> argparse.ArgumentParser:
             "exits non-zero when stage timings or outputs are missing"
         ),
     )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        help=(
+            "directory holding checked-in BENCH_*.json files; the packed "
+            "applying_transformations stage is compared per rung and the "
+            "run fails when it is more than --baseline-factor slower "
+            "(coarse hot-path regression guard for CI)"
+        ),
+    )
+    parser.add_argument(
+        "--baseline-factor",
+        type=float,
+        default=2.0,
+        help=(
+            "allowed slow-down factor against the --baseline timings "
+            "(default: %(default)s; loose on purpose, CI clocks are noisy)"
+        ),
+    )
     return parser
 
 
@@ -169,12 +191,34 @@ def main(argv: list[str] | None = None) -> int:
         problems.extend(
             f"{benchmark}: {problem}" for problem in validate_payload(payload)
         )
+        if args.baseline and benchmark == "discovery":
+            baseline_path = Path(args.baseline) / f"BENCH_{benchmark}.json"
+            if baseline_path.is_file():
+                baseline_payload = json.loads(
+                    baseline_path.read_text(encoding="utf-8")
+                )
+                problems.extend(
+                    f"{benchmark}: {problem}"
+                    for problem in compare_to_baseline(
+                        payload, baseline_payload, factor=args.baseline_factor
+                    )
+                )
+            else:
+                problems.append(
+                    f"{benchmark}: baseline file {baseline_path} not found"
+                )
         for rung in payload["rungs"]:
             summary = ", ".join(
                 f"{engine}={record['total_s']:.2f}s"
                 for engine, record in rung["engines"].items()
             )
-            speedup = f", speedup={rung['speedup']}x" if "speedup" in rung else ""
+            speedup = ""
+            if "speedup" in rung:
+                speedup = (
+                    f", speedup={rung['speedup']}x"
+                    f" ({rung.get('speedup_engine', 'packed')}"
+                    f" vs {rung.get('speedup_baseline', 'seed')})"
+                )
             identical = (
                 f", identical={rung['identical']}" if "identical" in rung else ""
             )

@@ -51,7 +51,7 @@ from repro.core.discovery import DiscoveryResult, TransformationDiscovery
 from repro.datasets.synthetic import SyntheticConfig, generate_table_pair
 from repro.matching.reference import ReferenceRowMatcher
 from repro.matching.row_matcher import MatchingConfig, NGramRowMatcher, RowMatcher
-from repro.parallel.executor import default_start_method
+from repro.parallel.executor import default_start_method, tuned_num_workers
 
 #: The default synthetic size ladder (number of rows per rung).
 DEFAULT_LADDER: tuple[int, ...] = (1000, 5000, 10000, 25000)
@@ -203,6 +203,12 @@ class BenchmarkRunner:
             "total_s": elapsed,
             "num_pairs": len(pairs),
             "num_workers": num_workers,
+            # What the small-input fast path actually ran with (matching
+            # shards over source rows) — the honest denominator for any
+            # parallel-efficiency reading of this record.
+            "effective_workers": tuned_num_workers(
+                num_workers, len(source_values)
+            ),
         }
         return record, pairs
 
@@ -246,6 +252,10 @@ class BenchmarkRunner:
             "cover_size": len(result.cover),
             "top_coverage": result.top_coverage,
             "num_workers": num_workers,
+            # What the small-input fast path actually ran with (coverage
+            # shards over candidate pairs) — the honest denominator for
+            # any parallel-efficiency reading of this record.
+            "effective_workers": tuned_num_workers(num_workers, len(pairs)),
         }
         return record, pairs, result
 
@@ -313,12 +323,7 @@ class BenchmarkRunner:
                 rung["identical"] = all(
                     output == baseline for output in outputs.values()
                 )
-            if "seed" in engine_records and "packed" in engine_records:
-                packed_total = engine_records["packed"]["total_s"]
-                if packed_total > 0:
-                    rung["speedup"] = round(
-                        engine_records["seed"]["total_s"] / packed_total, 2
-                    )
+            self._speedup_summary(rung, engine_records)
             parallel = self._parallel_summary(engine_records)
             if parallel:
                 rung["parallel"] = parallel
@@ -340,12 +345,63 @@ class BenchmarkRunner:
         }
 
     @staticmethod
+    def _speedup_summary(rung: dict, engine_records: dict[str, dict]) -> None:
+        """Attach ``speedup`` (with an explicit baseline label) and the
+        per-stage speedup breakdown to *rung*.
+
+        On rungs where the seed engine ran, ``speedup`` is the classic
+        seed-vs-packed total ratio.  On seed-capped rungs (the top of the
+        ladder) the packed serial run becomes the baseline and the fastest
+        worker variant the comparison engine, so the field is never silently
+        dropped; ``speedup_baseline``/``speedup_engine`` always say which
+        pair was compared.  ``stage_speedup`` carries the same ratio per
+        pipeline stage, which is what makes a coverage-stage optimisation
+        (``applying_transformations``) visible in the BENCH JSON rather
+        than buried in the total.
+        """
+        if "seed" in engine_records and "packed" in engine_records:
+            baseline_label, engine_label = "seed", "packed"
+        elif "packed" in engine_records:
+            variants = [
+                label
+                for label, record in engine_records.items()
+                if label.startswith("packed-w") and record["total_s"] > 0
+            ]
+            if not variants:
+                return
+            baseline_label = "packed"
+            engine_label = min(
+                variants, key=lambda label: engine_records[label]["total_s"]
+            )
+        else:
+            return
+        baseline = engine_records[baseline_label]
+        engine = engine_records[engine_label]
+        if engine["total_s"] <= 0:
+            return
+        rung["speedup"] = round(baseline["total_s"] / engine["total_s"], 2)
+        rung["speedup_baseline"] = baseline_label
+        rung["speedup_engine"] = engine_label
+        stage_speedup = {
+            stage: round(seconds / engine["stages"][stage], 2)
+            for stage, seconds in baseline.get("stages", {}).items()
+            if engine.get("stages", {}).get(stage, 0) > 0
+        }
+        if stage_speedup:
+            rung["stage_speedup"] = stage_speedup
+
+    @staticmethod
     def _parallel_summary(engine_records: dict[str, dict]) -> dict:
         """Speedup-vs-serial and parallel efficiency of every worker variant.
 
-        Efficiency is ``speedup / workers`` — 1.0 means perfect scaling.
-        Read it against ``host.cpu_count``: with fewer cores than workers the
-        ceiling is ``cpu_count / workers``, not 1.0.
+        Efficiency is ``speedup / effective_workers`` — 1.0 means perfect
+        scaling over the workers that *actually ran*: the small-input fast
+        path may resolve a ``packed-w8`` request to fewer workers (or to the
+        serial inline path on single-core hosts), and dividing by the
+        requested count would report that serial run as 8-worker
+        inefficiency.  Both counts are recorded so the reduction is visible.
+        Read efficiency against ``host.cpu_count``: with fewer cores than
+        workers the ceiling is ``cpu_count / workers``, not 1.0.
         """
         serial = engine_records.get("packed")
         if serial is None or serial["total_s"] <= 0:
@@ -357,11 +413,13 @@ class BenchmarkRunner:
                 continue
             if record["total_s"] <= 0:
                 continue
+            effective = record.get("effective_workers", num_workers)
             speedup = serial["total_s"] / record["total_s"]
             summary[label] = {
                 "workers": num_workers,
+                "effective_workers": effective,
                 "speedup_vs_serial": round(speedup, 2),
-                "efficiency": round(speedup / num_workers, 2),
+                "efficiency": round(speedup / max(effective, 1), 2),
             }
         return summary
 
@@ -404,6 +462,59 @@ def validate_payload(payload: dict) -> list[str]:
                 problems.append(f"{label}: no candidate pairs produced")
             if "num_transformations" in record and record["num_transformations"] <= 0:
                 problems.append(f"{label}: no transformations generated")
+        if len(engines) > 1 and "identical" not in rung:
+            problems.append(
+                f"rung {rows}: multiple engines recorded but no identical flag"
+            )
         if rung.get("identical") is False:
             problems.append(f"rung {rows}: engines disagree on results")
+    return problems
+
+
+def compare_to_baseline(
+    payload: dict,
+    baseline_payload: dict,
+    *,
+    engine: str = "packed",
+    stage: str = "applying_transformations",
+    factor: float = 2.0,
+) -> list[str]:
+    """Coarse hot-path regression guard against a checked-in BENCH payload.
+
+    For every rung present in both payloads, fails when the *engine*'s
+    *stage* timing is more than *factor* times the checked-in value.  The
+    factor is deliberately loose — CI machines differ from the machine that
+    produced the baseline and wall clocks are noisy — so only gross
+    regressions (an accidentally disabled prefilter, a quadratic slip) trip
+    it.  Rungs or stages missing from either payload are skipped: the guard
+    protects timings that exist, it does not enforce payload shape
+    (:func:`validate_payload` does that).
+    """
+    if factor <= 0:
+        raise ValueError(f"factor must be positive, got {factor}")
+    problems: list[str] = []
+    baseline_rungs = {
+        rung.get("rows"): rung for rung in baseline_payload.get("rungs") or []
+    }
+    for rung in payload.get("rungs") or []:
+        rows = rung.get("rows")
+        baseline_rung = baseline_rungs.get(rows)
+        if baseline_rung is None:
+            continue
+        current = (
+            (rung.get("engines") or {}).get(engine, {}).get("stages", {}).get(stage)
+        )
+        reference = (
+            (baseline_rung.get("engines") or {})
+            .get(engine, {})
+            .get("stages", {})
+            .get(stage)
+        )
+        if not current or not reference:
+            continue
+        if current > factor * reference:
+            problems.append(
+                f"rung {rows}/{engine}: stage {stage} took {current:.2f}s, "
+                f"more than {factor}x the checked-in {reference:.2f}s"
+            )
     return problems

@@ -1,0 +1,147 @@
+"""CELF/bitset cover selection must reproduce the set-based spec tie for tie.
+
+The coverage-v3 selection engine replaces the plain greedy scan of
+``greedy_minimal_cover`` with a CELF lazy-greedy over packed bitmasks.  Its
+contract is exact: across every instance — including ties on gain,
+placeholder count, unit count and rendering, duplicate transformations,
+support thresholds, and selection caps — the selected sequence must be
+*identical* to :func:`repro.core.cover.greedy_minimal_cover_reference`,
+which keeps the original set-arithmetic implementation as the executable
+spec.  The bitset helpers and set-ops are checked against their frozenset
+counterparts the same way.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.cover import (
+    cover_fraction,
+    covered_mask,
+    covered_rows,
+    greedy_minimal_cover,
+    greedy_minimal_cover_reference,
+    mask_from_rows,
+    rows_from_mask,
+    top_k_by_coverage,
+)
+from repro.core.coverage import CoverageResult
+from repro.core.transformation import Transformation
+from repro.core.units import Literal, Split, Substr
+
+ROW_SETS = st.sets(st.integers(min_value=0, max_value=40), max_size=12)
+
+# A tiny unit pool makes equal transformations — and therefore exact key
+# ties down to the rendering — likely, which is precisely what the CELF
+# tie-breaking proof needs exercised.
+TIE_PRONE_UNITS = st.one_of(
+    st.builds(Literal, st.sampled_from(["a", "b", ""])),
+    st.builds(Substr, st.just(0), st.integers(min_value=1, max_value=3)),
+    st.builds(Split, st.just(","), st.integers(min_value=1, max_value=2)),
+)
+
+RESULTS = st.lists(
+    st.builds(
+        CoverageResult,
+        st.builds(Transformation, st.lists(TIE_PRONE_UNITS, min_size=1, max_size=3)),
+        ROW_SETS,
+    ),
+    max_size=20,
+)
+
+
+class TestCelfMatchesReferenceGreedy:
+    @given(results=RESULTS)
+    def test_identical_selection_sequence(self, results):
+        assert greedy_minimal_cover(results) == greedy_minimal_cover_reference(
+            results
+        )
+
+    @given(results=RESULTS, min_support=st.integers(min_value=1, max_value=6))
+    def test_identical_under_min_support(self, results, min_support):
+        assert greedy_minimal_cover(
+            results, min_support=min_support
+        ) == greedy_minimal_cover_reference(results, min_support=min_support)
+
+    @given(results=RESULTS, cap=st.integers(min_value=0, max_value=5))
+    def test_identical_under_selection_cap(self, results, cap):
+        assert greedy_minimal_cover(
+            results, max_transformations=cap
+        ) == greedy_minimal_cover_reference(results, max_transformations=cap)
+
+    @given(results=RESULTS)
+    def test_identical_with_duplicate_candidates(self, results):
+        # Duplicates produce exact key ties; the reference breaks them by
+        # input position, and CELF must do the same.
+        doubled = list(results) + list(results)
+        assert greedy_minimal_cover(doubled) == greedy_minimal_cover_reference(
+            doubled
+        )
+
+    @given(seed=st.integers(min_value=0, max_value=999))
+    def test_identical_on_seeded_random_instances(self, seed):
+        # Deterministic volume: classic random set-cover instances with
+        # heavy overlap, the regime where lazy bounds go stale the most.
+        rng = random.Random(seed)
+        universe = rng.randrange(5, 60)
+        results = [
+            CoverageResult(
+                Transformation([Literal(f"t{index}")]),
+                frozenset(
+                    rng.sample(range(universe), rng.randrange(0, universe))
+                ),
+            )
+            for index in range(rng.randrange(1, 25))
+        ]
+        min_support = rng.choice([1, 1, 1, 2, 3])
+        assert greedy_minimal_cover(
+            results, min_support=min_support
+        ) == greedy_minimal_cover_reference(results, min_support=min_support)
+
+
+class TestBitsetAgreesWithSets:
+    @given(rows=ROW_SETS)
+    def test_mask_roundtrip(self, rows):
+        assert set(rows_from_mask(mask_from_rows(rows))) == rows
+        assert mask_from_rows(rows) == sum(1 << row for row in rows)
+
+    @given(rows=ROW_SETS)
+    def test_result_representations_are_interchangeable(self, rows):
+        transformation = Transformation([Literal("x")])
+        from_rows = CoverageResult(transformation, rows)
+        from_mask = CoverageResult(
+            transformation, covered_mask=mask_from_rows(rows)
+        )
+        assert from_rows == from_mask
+        assert from_mask.covered_rows == frozenset(rows)
+        assert from_rows.covered_mask == from_mask.covered_mask
+        assert from_rows.coverage == from_mask.coverage == len(rows)
+
+    @given(results=RESULTS, num_pairs=st.integers(min_value=0, max_value=50))
+    def test_union_ops_match_set_arithmetic(self, results, num_pairs):
+        expected: set[int] = set()
+        for result in results:
+            expected |= result.covered_rows
+        assert covered_rows(results) == frozenset(expected)
+        assert covered_mask(results) == mask_from_rows(expected)
+        if num_pairs:
+            assert cover_fraction(results, num_pairs) == len(expected) / num_pairs
+        else:
+            assert cover_fraction(results, num_pairs) == 0.0
+
+    @given(results=RESULTS, k=st.integers(min_value=1, max_value=5))
+    def test_top_k_ranks_by_popcount(self, results, k):
+        ranked = top_k_by_coverage(results, k)
+        expected = sorted(
+            results,
+            key=lambda r: (
+                -len(r.covered_rows),
+                r.transformation.num_placeholders,
+                len(r.transformation),
+                repr(r.transformation),
+            ),
+        )[:k]
+        assert ranked == expected

@@ -17,6 +17,11 @@ serial engines for every worker count:
 Worker counts {1, 2, 3} are exercised on randomized inputs (1 takes the
 serial path — the degenerate case of the knob — while 2 and 3 fork real
 pools), plus the spawn start method for the pickle-once fallback.
+
+Every sharded construction here disables the small-input fast path
+(``min_rows_per_worker=0``): these inputs are tiny by design, and the tuning
+would otherwise serialize them — correct, but then no pool would ever fork
+and the equivalence under test would be vacuous.
 """
 
 from __future__ import annotations
@@ -90,7 +95,7 @@ def stats_tuple(computer: CoverageComputer) -> tuple[int, int, int]:
 
 def assert_sharded_coverage_matches_serial(pairs, transformations, workers):
     serial = CoverageComputer(pairs, num_workers=1)
-    sharded = CoverageComputer(pairs, num_workers=workers)
+    sharded = CoverageComputer(pairs, num_workers=workers, min_rows_per_worker=0)
     serial_results = serial.coverage_of_all(transformations)
     sharded_results = sharded.coverage_of_all(transformations)
     assert sharded_results == serial_results
@@ -108,6 +113,7 @@ def assert_sharded_match_equals_serial(source, target, config, workers):
         max_candidates_per_row=config.max_candidates_per_row,
         stop_gram_cap=config.stop_gram_cap,
         num_workers=workers,
+        min_rows_per_worker=0,
     )
     sharded = NGramRowMatcher(sharded_config).match_values(source, target)
     assert sharded == serial
@@ -141,7 +147,9 @@ class TestShardedCoverageEquivalence:
         ).discover_from_strings(string_pairs)
         for workers in WORKER_COUNTS:
             sharded = TransformationDiscovery(
-                DiscoveryConfig(sample_size=10, num_workers=workers)
+                DiscoveryConfig(
+                    sample_size=10, num_workers=workers, min_rows_per_worker=0
+                )
             ).discover_from_strings(string_pairs)
             assert sharded.top == serial.top
             assert sharded.cover == serial.cover
@@ -165,7 +173,7 @@ class TestShardedCoverageEquivalence:
         expected = CoverageComputer(pairs, num_workers=1).coverage_of_all(
             transformations
         )
-        warm = CoverageComputer(pairs, num_workers=2)
+        warm = CoverageComputer(pairs, num_workers=2, min_rows_per_worker=0)
         # coverage_of runs serially and populates the computer's persistent
         # per-row non-covering-unit sets — the actual warm-cache scenario.
         assert [

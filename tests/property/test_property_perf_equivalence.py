@@ -25,7 +25,13 @@ from hypothesis import strategies as st
 from repro.core.coverage import CoverageComputer
 from repro.core.pairs import pairs_from_strings
 from repro.core.transformation import Transformation
-from repro.core.units import Literal, Split, SplitSubstr, Substr
+from repro.core.units import (
+    Literal,
+    Split,
+    SplitSubstr,
+    Substr,
+    TwoCharSplitSubstr,
+)
 from repro.datasets.synthetic import SyntheticConfig, generate_table_pair
 from repro.datasets.web_tables import TOPICS, generate_pair
 from repro.matching.reference import ReferenceRowMatcher
@@ -121,6 +127,17 @@ UNITS = st.one_of(
         st.integers(0, 2),
         st.integers(3, 5),
     ),
+    # Exercises the two-delimiter specialization of the batched kernel,
+    # including multi-character delimiters (which the reference _split can
+    # never split on — the specialized op must replicate that exactly).
+    st.builds(
+        TwoCharSplitSubstr,
+        st.sampled_from([",", " ", "ab"]),
+        st.sampled_from(["-", ".", "b "]),
+        st.integers(1, 2),
+        st.integers(0, 1),
+        st.integers(2, 4),
+    ),
 )
 
 TRANSFORMATIONS = st.lists(
@@ -148,6 +165,38 @@ def assert_coverage_engines_agree(pairs, transformations, *, use_unit_cache=True
     assert unbatched.stats.cache_hits + unbatched.stats.cache_misses == expected
 
 
+class TestAnchorAutomaton:
+    @given(
+        texts=st.lists(
+            st.text(alphabet="ab, ", min_size=1, max_size=5),
+            min_size=1,
+            max_size=12,
+            unique=True,
+        ),
+        target=st.text(alphabet="ab, ", max_size=20),
+    )
+    def test_scan_matches_substring_search(self, texts, target):
+        # The automaton is the prefilter's ground truth for anchor presence:
+        # one scan of the target must find exactly the anchors a substring
+        # search would, including overlapping and nested patterns.
+        from repro.core.coverage import _build_anchor_automaton
+
+        goto, fail, outputs = _build_anchor_automaton(texts)
+        found: set[int] = set()
+        state = 0
+        for char in target:
+            next_state = goto[state].get(char)
+            while next_state is None and state:
+                state = fail[state]
+                next_state = goto[state].get(char)
+            state = next_state if next_state is not None else 0
+            found.update(outputs[state])
+        expected = {
+            text_id for text_id, text in enumerate(texts) if text in target
+        }
+        assert found == expected
+
+
 class TestCoverageEquivalence:
     @given(raw_pairs=STRING_PAIRS, transformations=TRANSFORMATIONS)
     def test_batched_matches_unbatched(self, raw_pairs, transformations):
@@ -167,6 +216,50 @@ class TestCoverageEquivalence:
         # (the no-duplicate-removal ablation relies on this).
         pairs = pairs_from_strings([("a,b", "b"), ("a b", "a")])
         assert_coverage_engines_agree(pairs, transformations + transformations)
+
+    @given(
+        raw_pairs=STRING_PAIRS,
+        anchors=st.lists(
+            st.text(alphabet="ab, ", min_size=1, max_size=4),
+            min_size=1,
+            max_size=4,
+        ),
+        transformations=TRANSFORMATIONS,
+    )
+    def test_literal_anchored_prefilter_preserves_results(
+        self, raw_pairs, anchors, transformations
+    ):
+        # Force every transformation through literal anchors (prepended and
+        # appended), so the prefilter's required-set pruning fires on every
+        # trie edge — covered rows and the accounting invariant must be
+        # unchanged.  Mostly-absent anchors make whole-subtree skips the
+        # common case, mirroring the real workload.
+        anchored = [
+            Transformation(
+                (Literal(anchors[index % len(anchors)]),)
+                + transformation.units
+                + (Literal(anchors[(index + 1) % len(anchors)]),)
+            )
+            for index, transformation in enumerate(transformations)
+        ]
+        assert_coverage_engines_agree(
+            pairs_from_strings(raw_pairs), anchored + transformations
+        )
+
+    @given(raw_pairs=STRING_PAIRS, transformations=TRANSFORMATIONS)
+    def test_anchorless_transformations_are_a_prefilter_noop(
+        self, raw_pairs, transformations
+    ):
+        # Strip every literal: no anchors, no required sets — the prefilter
+        # degrades to a no-op and the walk must still match the reference.
+        stripped = []
+        for transformation in transformations:
+            units = tuple(
+                unit for unit in transformation.units if unit.anchor_text is None
+            )
+            if units:
+                stripped.append(Transformation(units))
+        assert_coverage_engines_agree(pairs_from_strings(raw_pairs), stripped)
 
     @settings(deadline=None)
     @given(seed=st.integers(min_value=0, max_value=3))

@@ -6,11 +6,18 @@ import pytest
 
 from repro.core.cover import (
     cover_fraction,
+    covered_mask,
     covered_rows,
     greedy_minimal_cover,
+    greedy_minimal_cover_reference,
     top_k_by_coverage,
 )
-from repro.core.coverage import CoverageComputer, CoverageResult
+from repro.core.coverage import (
+    CoverageComputer,
+    CoverageResult,
+    mask_from_rows,
+    rows_from_mask,
+)
 from repro.core.pairs import pairs_from_strings
 from repro.core.transformation import Transformation
 from repro.core.units import Literal, Split, SplitSubstr, Substr
@@ -117,6 +124,35 @@ class TestCoverageComputer:
 
     def test_batched_empty_inputs(self):
         assert CoverageComputer([]).coverage_of_all([], batched=True) == []
+
+    def test_literal_prefilter_skips_anchored_subtrees(self, name_pairs):
+        # "zzz" occurs in no target: the prefilter prunes both anchored
+        # transformations per row without applying any unit, and the
+        # deep-anchored one is pruned before its Split ever runs.
+        anchored = [
+            Transformation([Literal("zzz"), Split(",", 1)]),
+            Transformation([Split(",", 1), Literal("zzz")]),
+        ]
+        computer = CoverageComputer(name_pairs)
+        results = computer.coverage_of_all(anchored, batched=True)
+        assert all(result.coverage == 0 for result in results)
+        assert computer.stats.cache_hits == len(anchored) * 3
+        assert computer.stats.applications == 0
+
+    def test_prefilter_is_noop_without_literal_anchors(self, name_pairs):
+        # Transformations without literal units carry no anchors; the walk
+        # must still match the unbatched reference exactly.
+        transformations = [
+            Transformation([Split(",", 2), Literal(""), Split(",", 1)]),
+            Transformation([Substr(0, 1)]),
+        ]
+        batched = CoverageComputer(name_pairs).coverage_of_all(
+            transformations, batched=True
+        )
+        unbatched = CoverageComputer(name_pairs).coverage_of_all(
+            transformations, batched=False
+        )
+        assert batched == unbatched
 
 
 class TestUnitCache:
@@ -232,11 +268,68 @@ class TestGreedyCover:
             greedy_minimal_cover([], min_support=0)
 
 
+class TestCelfAgainstReference:
+    def make_result(self, rows, label):
+        return CoverageResult(Transformation([Literal(label)]), frozenset(rows))
+
+    def test_matches_reference_on_overlapping_sets(self):
+        results = [
+            self.make_result({0, 1, 2, 3}, "big"),
+            self.make_result({0, 1, 4}, "left"),
+            self.make_result({2, 3, 5}, "right"),
+            self.make_result({4, 5}, "tail"),
+        ]
+        assert greedy_minimal_cover(results) == greedy_minimal_cover_reference(
+            results
+        )
+
+    def test_matches_reference_with_support_and_cap(self):
+        results = [self.make_result(set(range(i)), str(i)) for i in range(6)]
+        assert greedy_minimal_cover(
+            results, min_support=2, max_transformations=2
+        ) == greedy_minimal_cover_reference(
+            results, min_support=2, max_transformations=2
+        )
+
+    def test_reference_validates_min_support(self):
+        with pytest.raises(ValueError):
+            greedy_minimal_cover_reference([], min_support=0)
+
+
+class TestCoverageResultRepresentations:
+    def test_mask_and_rows_are_interchangeable(self):
+        transformation = Transformation([Literal("x")])
+        from_rows = CoverageResult(transformation, frozenset({0, 3, 70}))
+        from_mask = CoverageResult(
+            transformation, covered_mask=(1 << 0) | (1 << 3) | (1 << 70)
+        )
+        assert from_rows == from_mask
+        assert from_mask.covered_rows == frozenset({0, 3, 70})
+        assert from_rows.covered_mask == from_mask.covered_mask
+        assert from_mask.coverage == 3
+        assert from_mask.coverage_fraction(6) == 0.5
+
+    def test_defaults_to_empty(self):
+        result = CoverageResult(Transformation([Literal("x")]))
+        assert result.covered_rows == frozenset()
+        assert result.covered_mask == 0
+        assert result.coverage == 0
+
+    def test_mask_helpers_roundtrip(self):
+        rows = [0, 7, 8, 63, 64, 100]
+        assert rows_from_mask(mask_from_rows(rows)) == rows
+        assert mask_from_rows([]) == 0
+        assert rows_from_mask(0) == []
+        with pytest.raises(ValueError):
+            rows_from_mask(-1)
+
+
 class TestCoverHelpers:
     def test_covered_rows_union(self):
         a = CoverageResult(Transformation([Literal("a")]), frozenset({0, 1}))
         b = CoverageResult(Transformation([Literal("b")]), frozenset({1, 2}))
         assert covered_rows([a, b]) == frozenset({0, 1, 2})
+        assert covered_mask([a, b]) == 0b111
 
     def test_cover_fraction(self):
         a = CoverageResult(Transformation([Literal("a")]), frozenset({0, 1}))

@@ -7,12 +7,15 @@ import os
 import pytest
 
 from repro.parallel.executor import (
+    DEFAULT_MIN_ITEMS_PER_WORKER,
     ShardedExecutor,
     default_start_method,
     env_default_workers,
+    env_min_items_per_worker,
     map_sharded,
     resolve_num_workers,
     shard_plan,
+    tuned_num_workers,
     worker_state,
 )
 
@@ -134,3 +137,62 @@ class TestShardedExecutor:
     def test_worker_state_outside_pool_raises(self):
         with pytest.raises(RuntimeError):
             worker_state()
+
+    def test_single_worker_runs_inline_without_pool(self):
+        # The small-input fast path: one worker spawns no pool at all — the
+        # shards run in-process against the same shared state.
+        values = list(range(30))
+        executor = ShardedExecutor(values, num_workers=1)
+        with executor:
+            assert executor._pool is None
+            shard_sums = executor.map_shards(_shard_sum, len(values))
+        assert sum(shard_sums) == sum(values)
+
+    def test_inline_executor_restores_outer_state(self):
+        with ShardedExecutor([1], num_workers=1) as executor:
+            executor.map_shards(_shard_sum, 1)
+        # The state installed for the inline run must not leak.
+        with pytest.raises(RuntimeError):
+            worker_state()
+
+
+class TestTunedNumWorkers:
+    def test_disabled_threshold_only_clamps_to_items(self):
+        assert tuned_num_workers(4, 2, min_items_per_worker=0) == 2
+        assert tuned_num_workers(4, 100, min_items_per_worker=0) == 4
+        assert tuned_num_workers(1, 100, min_items_per_worker=0) == 1
+
+    def test_small_inputs_scale_down(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        # 100 items at 8 workers is 12.5 rows each — below a threshold of
+        # 50 the pool shrinks to items // threshold.
+        assert tuned_num_workers(8, 100, min_items_per_worker=50) == 2
+        assert tuned_num_workers(8, 49, min_items_per_worker=50) == 1
+        # Plenty of work per worker: the request stands.
+        assert tuned_num_workers(8, 1000, min_items_per_worker=50) == 8
+
+    def test_single_core_host_goes_serial(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 1)
+        assert tuned_num_workers(8, 10**6, min_items_per_worker=1) == 1
+
+    def test_default_threshold_comes_from_env(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: 8)
+        monkeypatch.delenv("REPRO_MIN_ROWS_PER_WORKER", raising=False)
+        assert env_min_items_per_worker() == DEFAULT_MIN_ITEMS_PER_WORKER
+        monkeypatch.setenv("REPRO_MIN_ROWS_PER_WORKER", "10")
+        assert env_min_items_per_worker() == 10
+        assert tuned_num_workers(4, 20) == 2
+        monkeypatch.setenv("REPRO_MIN_ROWS_PER_WORKER", "0")
+        assert tuned_num_workers(4, 20) == 4
+
+    def test_bad_env_threshold_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MIN_ROWS_PER_WORKER", "many")
+        with pytest.raises(ValueError):
+            env_min_items_per_worker()
+        monkeypatch.setenv("REPRO_MIN_ROWS_PER_WORKER", "-5")
+        with pytest.raises(ValueError):
+            env_min_items_per_worker()
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            tuned_num_workers(-1, 10)
