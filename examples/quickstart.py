@@ -1,11 +1,13 @@
 #!/usr/bin/env python3
 """Quickstart: learn a transformation and join two differently-formatted tables.
 
-This walks through the three levels of the public API:
+This walks through the four levels of the public API:
 
 1. learn transformations from plain (source, target) string pairs,
 2. run the full pipeline (row matching + discovery + join) on two tables,
-3. inspect the discovered transformations and the statistics of the run.
+3. fit once, save the model artifact, reload it, and apply it to new rows
+   (the train-once / apply-many workflow of the artifact layer),
+4. inspect the discovered transformations and the statistics of the run.
 
 Run with::
 
@@ -14,7 +16,10 @@ Run with::
 
 from __future__ import annotations
 
-from repro import JoinPipeline, Table, TransformationDiscovery
+import tempfile
+from pathlib import Path
+
+from repro import JoinPipeline, Table, TransformationDiscovery, TransformationModel
 
 
 def learn_from_string_pairs() -> None:
@@ -118,10 +123,56 @@ def join_two_tables() -> None:
     print()
 
 
-def inspect_statistics() -> None:
-    """Level 3: the per-stage statistics used by the paper's experiments."""
+def fit_save_and_apply() -> None:
+    """Level 3: fit once, persist the model, apply it to unseen rows."""
     print("=" * 72)
-    print("3. Discovery statistics (the raw material of Tables 2 and 4)")
+    print("3. Fit / save / load / apply (the artifact layer)")
+    print("=" * 72)
+
+    train_source = Table(
+        {"Name": ["Rafiei, Davood", "Bowling, Michael", "Gosgnach, Simon"]},
+        name="train_source",
+    )
+    train_target = Table(
+        {"Name": ["D Rafiei", "M Bowling", "S Gosgnach"]},
+        name="train_target",
+    )
+    # New rows the model never saw during fitting.
+    fresh_source = Table(
+        {"Name": ["Nascimento, Mario", "Gingrich, Douglas", "Kasumba, Victor"]},
+        name="fresh_source",
+    )
+    fresh_target = Table(
+        {"Name": ["V Kasumba", "M Nascimento", "D Gingrich"]},
+        name="fresh_target",
+    )
+
+    pipeline = JoinPipeline(min_support=0.0)
+    model = pipeline.fit(
+        train_source, train_target, source_column="Name", target_column="Name"
+    )
+    with tempfile.TemporaryDirectory() as tmp:
+        path = model.save(Path(tmp) / "model.json")
+        print(f"fitted and saved: {path.name} "
+              f"({path.stat().st_size} bytes of versioned JSON)")
+        # A later process (no matcher, no discovery engine) picks it up:
+        loaded = TransformationModel.load(path)
+    print(f"loaded model: {loaded.num_transformations} transformation(s), "
+          f"schema v{loaded.schema_version}")
+    outcome = pipeline.apply(
+        loaded, fresh_source, fresh_target, source_column="Name", target_column="Name"
+    )
+    print("applied to unseen rows (no re-discovery):")
+    for source_row, target_row in sorted(outcome.join.pairs):
+        print(f"  {fresh_source['Name'][source_row]:24} -> "
+              f"{fresh_target['Name'][target_row]}")
+    print()
+
+
+def inspect_statistics() -> None:
+    """Level 4: the per-stage statistics used by the paper's experiments."""
+    print("=" * 72)
+    print("4. Discovery statistics (the raw material of Tables 2 and 4)")
     print("=" * 72)
 
     pairs = [
@@ -147,4 +198,5 @@ def inspect_statistics() -> None:
 if __name__ == "__main__":
     learn_from_string_pairs()
     join_two_tables()
+    fit_save_and_apply()
     inspect_statistics()

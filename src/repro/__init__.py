@@ -31,7 +31,10 @@ Sub-packages
 ``repro.matching``
     N-gram row matching (Algorithm 1 of the paper).
 ``repro.join``
-    The end-to-end transformation join.
+    The end-to-end transformation join (fit/apply and one-shot).
+``repro.model``
+    The artifact layer: serializable transformation models and the
+    apply-only execution engine.
 ``repro.baselines``
     Naive enumeration, Auto-Join, and Auto-FuzzyJoin baselines.
 ``repro.datasets``
@@ -55,28 +58,40 @@ from repro.core import (
     TwoCharSplitSubstr,
 )
 from repro.core.discovery import discover_transformations
-from repro.join import JoinPipeline, TransformationJoiner
+from repro.join import ApplyResult, JoinPipeline, PipelineResult, TransformationJoiner
 from repro.matching import GoldenRowMatcher, MatchingConfig, NGramRowMatcher
+from repro.model import (
+    ModelFormatError,
+    SchemaVersionError,
+    TransformationApplier,
+    TransformationModel,
+)
 from repro.table import Table, read_csv, write_csv
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "ApplyResult",
     "DiscoveryConfig",
     "DiscoveryResult",
     "GoldenRowMatcher",
     "JoinPipeline",
     "Literal",
     "MatchingConfig",
+    "ModelFormatError",
     "NGramRowMatcher",
+    "PipelineResult",
     "RowPair",
+    "SchemaVersionError",
     "Split",
     "SplitSubstr",
     "Substr",
     "Table",
     "Transformation",
+    "TransformationApplier",
     "TransformationDiscovery",
     "TransformationJoiner",
+    "TransformationModel",
     "TwoCharSplitSubstr",
     "discover_transformations",
     "read_csv",

@@ -1,7 +1,7 @@
 """Command-line interface.
 
-The CLI exposes the three main workflows over CSV files so the system can be
-used without writing Python:
+The CLI exposes the main workflows over CSV files so the system can be used
+without writing Python:
 
 ``python -m repro discover``
     Learn transformations from two CSV columns (optionally with a golden
@@ -10,6 +10,14 @@ used without writing Python:
 ``python -m repro join``
     Run the end-to-end pipeline (row matching + discovery + transformation
     join) on two CSV files and write the joined table.
+
+``python -m repro fit``
+    Train once: run matching + discovery and save the resulting
+    :class:`~repro.model.artifact.TransformationModel` as versioned JSON.
+
+``python -m repro apply``
+    Serve many times: load a saved model and join two CSV files with it —
+    no matching, no re-discovery.
 
 ``python -m repro benchmark``
     Generate one of the built-in benchmark datasets to a directory as CSV
@@ -28,6 +36,7 @@ from repro.datasets.registry import available_datasets, load_dataset
 from repro.evaluation.report import format_table
 from repro.join.pipeline import JoinPipeline
 from repro.matching.row_matcher import MatchingConfig, NGramRowMatcher
+from repro.model import ModelFormatError, TransformationModel
 from repro.table.io import read_csv, write_csv
 
 
@@ -63,6 +72,66 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.05,
         help="minimum coverage fraction for a transformation to be applied",
+    )
+
+    fit = subparsers.add_parser(
+        "fit",
+        help="learn a transformation model from two CSV files and save it",
+    )
+    _add_pair_arguments(fit)
+    fit.add_argument(
+        "--save",
+        type=Path,
+        required=True,
+        help="path the fitted model JSON is written to",
+    )
+    fit.add_argument(
+        "--min-support",
+        type=float,
+        default=0.05,
+        help=(
+            "minimum coverage fraction a transformation needs at apply time "
+            "(recorded in the model)"
+        ),
+    )
+
+    apply_cmd = subparsers.add_parser(
+        "apply",
+        help=(
+            "join two CSV files with a previously fitted model "
+            "(no re-discovery)"
+        ),
+    )
+    apply_cmd.add_argument(
+        "source_csv", type=Path, help="source table (CSV with header)"
+    )
+    apply_cmd.add_argument(
+        "target_csv", type=Path, help="target table (CSV with header)"
+    )
+    apply_cmd.add_argument(
+        "--model",
+        type=Path,
+        required=True,
+        help="model JSON written by `repro fit --save`",
+    )
+    apply_cmd.add_argument(
+        "--source-column", required=True, help="join column in the source table"
+    )
+    apply_cmd.add_argument(
+        "--target-column", required=True, help="join column in the target table"
+    )
+    apply_cmd.add_argument(
+        "--output", type=Path, required=True, help="path of the joined CSV to write"
+    )
+    apply_cmd.add_argument(
+        "--num-workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for the apply stage (1 = serial, 0 = all "
+            "cores; default: REPRO_NUM_WORKERS or 1); results are identical "
+            "at any worker count"
+        ),
     )
 
     benchmark = subparsers.add_parser(
@@ -113,9 +182,9 @@ def _add_pair_arguments(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=None,
         help=(
-            "worker processes for row matching and coverage (1 = serial, "
-            "0 = all cores; default: REPRO_NUM_WORKERS or 1); results are "
-            "identical at any worker count"
+            "worker processes for row matching, coverage and the apply "
+            "stage (1 = serial, 0 = all cores; default: REPRO_NUM_WORKERS "
+            "or 1); results are identical at any worker count"
         ),
     )
 
@@ -174,6 +243,7 @@ def run_join(args: argparse.Namespace) -> int:
         discovery_config=_discovery_config(args),
         min_support=args.min_support,
         materialize=True,
+        num_workers=args.num_workers,
     )
     outcome = pipeline.run(
         source,
@@ -189,6 +259,67 @@ def run_join(args: argparse.Namespace) -> int:
     for coverage in outcome.discovery.cover:
         print(f"  covers {coverage.coverage:5d}: {coverage.transformation}")
     print(f"joined rows: {outcome.join.num_pairs}")
+    print(f"wrote {args.output}")
+    return 0
+
+
+def run_fit(args: argparse.Namespace) -> int:
+    """The ``fit`` sub-command: train once, save the model artifact."""
+    source = read_csv(args.source_csv)
+    target = read_csv(args.target_csv)
+    pipeline = JoinPipeline(
+        matcher=_matcher(args),
+        discovery_config=_discovery_config(args),
+        min_support=args.min_support,
+    )
+    model = pipeline.fit(
+        source,
+        target,
+        source_column=args.source_column,
+        target_column=args.target_column,
+    )
+    try:
+        path = model.save(args.save)
+    except OSError as error:
+        # Same one-line error contract as `apply`'s load failures — an
+        # unwritable path must not bury the message in a traceback.
+        print(f"error: cannot write model to {args.save}: {error}", file=sys.stderr)
+        return 1
+    print(f"candidate row pairs: {model.num_candidate_pairs}")
+    print(model.describe())
+    print(f"wrote {path}")
+    return 0
+
+
+def run_apply(args: argparse.Namespace) -> int:
+    """The ``apply`` sub-command: join with a saved model, no re-discovery."""
+    try:
+        model = TransformationModel.load(args.model)
+    except (ModelFormatError, OSError) as error:
+        # Corrupt, foreign, wrong-version and missing/unreadable model files
+        # all get the same clean one-line error contract.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    source = read_csv(args.source_csv)
+    target = read_csv(args.target_csv)
+    # One code path for "apply a model to a table pair": the pipeline's
+    # serving method (which joins once and materializes from the pairs).
+    pipeline = JoinPipeline(materialize=True, num_workers=args.num_workers)
+    applied = pipeline.apply(
+        model,
+        source,
+        target,
+        source_column=args.source_column,
+        target_column=args.target_column,
+    )
+    joined = applied.joined_table
+    assert joined is not None
+    write_csv(joined, args.output)
+    print(f"model: {args.model} ({model.num_transformations} transformations)")
+    print(f"transformations applied: {len(applied.applied_transformations)}")
+    for transformation in applied.applied_transformations:
+        print(f"  {transformation}")
+    print(f"joined rows: {applied.join.num_pairs}")
     print(f"wrote {args.output}")
     return 0
 
@@ -220,6 +351,8 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "discover": run_discover,
         "join": run_join,
+        "fit": run_fit,
+        "apply": run_apply,
         "benchmark": run_benchmark,
     }
     return handlers[args.command](args)

@@ -5,13 +5,17 @@ transformation set (filtered by a minimum support) to the source column and
 equi-joins the transformed values against the target column.
 :class:`~repro.join.pipeline.JoinPipeline` wires the row matcher, the
 discovery engine and the joiner into the complete system evaluated in
-Table 3.
+Table 3, split into :meth:`~repro.join.pipeline.JoinPipeline.fit` (learn a
+serializable :class:`~repro.model.artifact.TransformationModel`) and
+:meth:`~repro.join.pipeline.JoinPipeline.apply` (join any table pair with a
+fitted model — no re-discovery), with ``run()`` as the one-shot composition.
 """
 
 from repro.join.joiner import JoinResult, TransformationJoiner
-from repro.join.pipeline import JoinPipeline, PipelineResult
+from repro.join.pipeline import ApplyResult, JoinPipeline, PipelineResult
 
 __all__ = [
+    "ApplyResult",
     "JoinPipeline",
     "JoinResult",
     "PipelineResult",

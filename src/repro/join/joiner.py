@@ -4,6 +4,16 @@ The experiments of Section 6.5 apply every transformation whose support (the
 fraction of candidate pairs it covers) reaches a threshold to the source
 column; a source row joins a target row whenever any applied transformation
 maps the source cell to exactly the target cell.
+
+The application itself is the batched apply engine of
+:mod:`repro.model.apply`: the transformation set is compiled once into the
+packed unit-prefix trie (shared unit prefixes evaluated once per row, one
+``str.split`` per (delimiter, row)), walked serially or row-sharded across a
+process pool (``num_workers``), and the transformed values are equi-joined
+through the packed :class:`~repro.matching.index.ValueIndex`.  The
+one-transformation-at-a-time loop survives as
+:meth:`TransformationJoiner.join_values_reference` — the executable spec the
+equivalence tests compare the batched path against.
 """
 
 from __future__ import annotations
@@ -14,6 +24,8 @@ from dataclasses import dataclass, field
 from repro.core.coverage import CoverageResult
 from repro.core.transformation import Transformation
 from repro.matching.index import ValueIndex
+from repro.model.apply import TransformationApplier
+from repro.parallel.executor import env_default_workers
 from repro.table.table import Table
 
 
@@ -48,8 +60,12 @@ class TransformationJoiner:
         *,
         min_support: float = 0.0,
         coverage_results: Sequence[CoverageResult] | None = None,
+        coverage_counts: Sequence[int] | None = None,
         num_candidate_pairs: int | None = None,
         case_insensitive: bool = False,
+        num_workers: int | None = None,
+        min_rows_per_worker: int | None = None,
+        use_batched_apply: bool = True,
     ) -> None:
         """Create a joiner.
 
@@ -59,8 +75,8 @@ class TransformationJoiner:
             The transformations to apply, in priority order.
         min_support:
             Minimum coverage fraction a transformation must have had during
-            discovery to be applied.  Requires *coverage_results* and
-            *num_candidate_pairs*; ignored when 0.
+            discovery to be applied.  Requires *num_candidate_pairs* plus
+            either *coverage_results* or *coverage_counts*; ignored when 0.
         coverage_results / num_candidate_pairs:
             The discovery-time coverage of each transformation and the number
             of candidate pairs it was computed over, used to evaluate the
@@ -69,44 +85,99 @@ class TransformationJoiner:
             (:attr:`~repro.core.discovery.DiscoveryResult.num_candidate_pairs`);
             it cannot be inferred from the covered rows — trailing uncovered
             rows would silently loosen the threshold.
+        coverage_counts:
+            Alternative to *coverage_results* for callers that only have the
+            covered-pair *counts* (a loaded
+            :class:`~repro.model.artifact.TransformationModel` stores counts,
+            not row sets).  Aligned positionally with *transformations*; the
+            support fraction of ``transformations[i]`` is
+            ``coverage_counts[i] / num_candidate_pairs``.
         case_insensitive:
             Lower-case source and target values before applying the
             transformations and comparing.  Use together with
             ``DiscoveryConfig(case_insensitive=True)`` so the transformations
             see the same normalization they were learned on.
+        num_workers:
+            Worker processes for the apply stage (1 = serial, 0 = all
+            cores; ``None`` — the default — honours ``REPRO_NUM_WORKERS``).
+            The resolution goes through
+            :func:`~repro.parallel.executor.tuned_num_workers`, so small
+            inputs run serially regardless; joined pairs are identical at
+            any worker count.
+        min_rows_per_worker:
+            Small-input threshold of the apply fast path (``None`` reads
+            ``REPRO_MIN_ROWS_PER_WORKER``; 0 disables the tuning).
+        use_batched_apply:
+            When True (default) the transformations are compiled into the
+            packed unit-prefix trie and applied in batch; disable to run the
+            reference one-at-a-time loop (the ablation/equivalence path).
         """
         if min_support < 0.0 or min_support > 1.0:
             raise ValueError(f"min_support must be in [0, 1], got {min_support}")
-        if min_support > 0.0 and coverage_results is None:
+        if min_support > 0.0 and coverage_results is None and coverage_counts is None:
             raise ValueError(
-                "min_support filtering requires the discovery coverage_results"
+                "min_support filtering requires the discovery coverage_results "
+                "(or their coverage_counts)"
             )
+        if coverage_counts is not None and len(coverage_counts) != len(
+            transformations
+        ):
+            raise ValueError(
+                f"coverage_counts must align with transformations: "
+                f"{len(coverage_counts)} counts for {len(transformations)} "
+                "transformations"
+            )
+        supported = self._supported_transformations(
+            transformations,
+            min_support,
+            coverage_results,
+            coverage_counts,
+            num_candidate_pairs,
+        )
         # Constant (literal-only) transformations map *every* source row to the
         # same value; applying one in a join would link every source row to any
         # target row carrying that value.  They can legitimately appear in a
         # covering set (they mop up noise rows during discovery) but are never
         # useful as join rules, so they are dropped here.
         applicable = [t for t in transformations if not t.is_constant]
-        self._transformations = self._filter_by_support(
-            applicable,
-            min_support,
-            coverage_results,
-            num_candidate_pairs,
+        kept = (
+            applicable
+            if supported is None
+            else [t for t in applicable if t in supported]
         )
+        # Never filter everything away: fall back to the full set so the join
+        # still produces output (matching the paper's behaviour of always
+        # reporting a join).
+        self._transformations = kept or applicable
         self._case_insensitive = case_insensitive
+        self._num_workers = (
+            env_default_workers() if num_workers is None else num_workers
+        )
+        if self._num_workers < 0:
+            raise ValueError(
+                f"num_workers must be >= 0, got {self._num_workers}"
+            )
+        self._min_rows_per_worker = min_rows_per_worker
+        self._use_batched_apply = use_batched_apply
+        self._applier: TransformationApplier | None = None
 
     @staticmethod
-    def _filter_by_support(
-        transformations: list[Transformation],
+    def _supported_transformations(
+        transformations: Sequence[Transformation],
         min_support: float,
         coverage_results: Sequence[CoverageResult] | None,
+        coverage_counts: Sequence[int] | None,
         num_candidate_pairs: int | None,
-    ) -> list[Transformation]:
-        # coverage_fraction is a bitmask popcount on the discovery-time
-        # CoverageResults, so support filtering never materializes the
-        # per-transformation row sets, however large discovery's input was.
-        if min_support <= 0.0 or not coverage_results:
-            return transformations
+    ) -> set[Transformation] | None:
+        """The transformations passing the support threshold (None = no filter).
+
+        Support is ``coverage / num_candidate_pairs`` on the discovery-time
+        counts — for :class:`CoverageResult` inputs the coverage is a bitmask
+        popcount, so filtering never materializes per-transformation row
+        sets, however large discovery's input was.
+        """
+        if min_support <= 0.0 or (not coverage_results and not coverage_counts):
+            return None
         if not num_candidate_pairs:
             # Guessing the pair count (e.g. as max covered row + 1) undercounts
             # whenever trailing rows are uncovered, which silently loosens the
@@ -116,21 +187,28 @@ class TransformationJoiner:
                 "candidate-pair count from discovery, e.g. "
                 "DiscoveryResult.num_candidate_pairs)"
             )
-        supported = {
-            result.transformation
-            for result in coverage_results
-            if result.coverage_fraction(num_candidate_pairs) >= min_support
+        if coverage_results is not None:
+            return {
+                result.transformation
+                for result in coverage_results
+                if result.coverage_fraction(num_candidate_pairs) >= min_support
+            }
+        assert coverage_counts is not None
+        return {
+            transformation
+            for transformation, count in zip(transformations, coverage_counts)
+            if count / num_candidate_pairs >= min_support
         }
-        kept = [t for t in transformations if t in supported]
-        # Never filter everything away: fall back to the full set so the join
-        # still produces output (matching the paper's behaviour of always
-        # reporting a join).
-        return kept or transformations
 
     @property
     def transformations(self) -> list[Transformation]:
         """The transformations that passed the support filter."""
         return list(self._transformations)
+
+    @property
+    def num_workers(self) -> int:
+        """The apply-stage worker knob (1 = serial, 0 = all cores)."""
+        return self._num_workers
 
     # ------------------------------------------------------------------ #
     # Joining
@@ -140,12 +218,65 @@ class TransformationJoiner:
         source_values: Sequence[str],
         target_values: Sequence[str],
     ) -> JoinResult:
-        """Join two plain value lists; row ids are list positions."""
+        """Join two plain value lists; row ids are list positions.
+
+        The batched path compiles the transformation set once (the compiled
+        trie is cached on the joiner, so repeated calls — the apply-many
+        scenario — pay the build exactly once), transforms every source row
+        through it (sharded over rows when ``num_workers`` resolves above 1
+        — see :func:`~repro.parallel.executor.tuned_num_workers`), and
+        probes the packed target :class:`ValueIndex` in the same
+        transformation-major order as the reference loop, so pairs, order
+        and first-match attribution are identical to
+        :meth:`join_values_reference`.
+        """
+        if not self._use_batched_apply:
+            return self.join_values_reference(source_values, target_values)
         if self._case_insensitive:
             source_values = [value.lower() for value in source_values]
             target_values = [value.lower() for value in target_values]
+        else:
+            source_values = list(source_values)
+            target_values = list(target_values)
         # The equi-join target map is the packed exact-value index: one build
         # pass, sorted array('i') postings probed without copying.
+        target_index = ValueIndex.build(target_values)
+        if self._applier is None:
+            self._applier = TransformationApplier(self._transformations)
+        outputs = self._applier.transform_rows(
+            source_values,
+            num_workers=self._num_workers,
+            min_rows_per_worker=self._min_rows_per_worker,
+        )
+
+        result = JoinResult()
+        seen: set[tuple[int, int]] = set()
+        for index, transformation in enumerate(self._transformations):
+            for source_row, transformed in outputs.get(index, ()):
+                for target_row in target_index.rows_for(transformed):
+                    key = (source_row, target_row)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    result.pairs.append(key)
+                    result.matched_by[key] = transformation
+        return result
+
+    def join_values_reference(
+        self,
+        source_values: Sequence[str],
+        target_values: Sequence[str],
+    ) -> JoinResult:
+        """The one-transformation-at-a-time join loop (executable spec).
+
+        Applies each transformation to every source value in turn — no
+        shared-prefix reuse, no sharding.  Kept verbatim from the pre-model
+        joiner so the equivalence tests can assert the batched path
+        reproduces it pair for pair.
+        """
+        if self._case_insensitive:
+            source_values = [value.lower() for value in source_values]
+            target_values = [value.lower() for value in target_values]
         target_index = ValueIndex.build(target_values)
 
         result = JoinResult()
@@ -192,6 +323,20 @@ class TransformationJoiner:
             source_column=source_column,
             target_column=target_column,
         )
+        return self.materialize_from(join_result, source, target)
+
+    def materialize_from(
+        self,
+        join_result: JoinResult,
+        source: Table,
+        target: Table,
+    ) -> Table:
+        """Materialize an already-computed :class:`JoinResult` as a table.
+
+        Callers that need both the pairs and the table (the pipeline's
+        ``materialize`` flag) compute the join once and materialize from it,
+        instead of paying the apply stage twice.
+        """
         columns: dict[str, list[str]] = {}
         for name in source.column_names:
             columns[f"{name}_source"] = []

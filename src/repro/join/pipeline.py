@@ -1,4 +1,4 @@
-"""The complete end-to-end join pipeline (Section 4.2).
+"""The complete end-to-end join pipeline (Section 4.2), split fit/apply.
 
 ``JoinPipeline`` chains the three stages of the paper's system:
 
@@ -10,6 +10,18 @@
 3. **Transformation join** — the
    :class:`~repro.join.joiner.TransformationJoiner` applies the
    transformations (filtered by a minimum support) and equi-joins.
+
+Stages 1–2 are *training* (they look at the table pair once and produce a
+reusable artifact), stage 3 is *serving* (it can run on any table pair the
+transformations apply to).  The pipeline exposes that seam directly:
+
+* :meth:`JoinPipeline.fit` runs matching + discovery and returns a
+  serializable :class:`~repro.model.artifact.TransformationModel`;
+* :meth:`JoinPipeline.apply` takes a model (fresh from :meth:`fit` or loaded
+  from disk) and joins *any* source/target tables with it — no matching, no
+  re-discovery, just the apply-only engine;
+* :meth:`JoinPipeline.run` is the classic one-shot composition of the two,
+  returning the same :class:`PipelineResult` it always has.
 """
 
 from __future__ import annotations
@@ -20,6 +32,7 @@ from repro.core.config import DiscoveryConfig
 from repro.core.discovery import DiscoveryResult, TransformationDiscovery
 from repro.join.joiner import JoinResult, TransformationJoiner
 from repro.matching.row_matcher import NGramRowMatcher, RowMatcher
+from repro.model.artifact import TransformationModel
 from repro.table.table import Table
 
 
@@ -39,16 +52,46 @@ class PipelineResult:
         return self.join.as_set()
 
 
+@dataclass
+class ApplyResult:
+    """What applying a fitted model to one table pair produced.
+
+    Unlike :class:`PipelineResult` there is no discovery here — the model
+    may have been fitted in another process entirely; ``model`` records
+    which artifact produced the join, ``applied_transformations`` the
+    transformations the joiner actually ran (the model's cover after
+    support filtering and the constant drop) in application order.
+    """
+
+    model: TransformationModel
+    join: JoinResult
+    applied_transformations: list = field(default_factory=list)
+    joined_table: Table | None = None
+
+    @property
+    def joined_pairs(self) -> set[tuple[int, int]]:
+        """The joined (source_row, target_row) pairs."""
+        return self.join.as_set()
+
+
 class JoinPipeline:
     """End-to-end system: match rows, learn transformations, join.
 
     Example
     -------
-    >>> from repro.join import JoinPipeline
+    >>> from repro import JoinPipeline
     >>> pipeline = JoinPipeline()
+    >>> model = pipeline.fit(source_table, target_table,
+    ...                      source_column="Name", target_column="Name")
+    >>> model.save("model.json")
+    >>> outcome = pipeline.apply(model, other_source, other_target,
+    ...                          source_column="Name", target_column="Name")
+    >>> outcome.join.num_pairs
+
+    or, one-shot::
+
     >>> result = pipeline.run(source_table, target_table,
     ...                       source_column="Name", target_column="Name")
-    >>> result.join.num_pairs
     """
 
     def __init__(
@@ -58,6 +101,7 @@ class JoinPipeline:
         discovery_config: DiscoveryConfig | None = None,
         min_support: float = 0.05,
         materialize: bool = False,
+        num_workers: int | None = None,
     ) -> None:
         """Create a pipeline.
 
@@ -70,29 +114,50 @@ class JoinPipeline:
             Configuration of the discovery engine.
         min_support:
             Minimum coverage fraction a transformation needs to be applied in
-            the join (the paper uses 5 %, and 2 % for open data).
+            the join (the paper uses 5 %, and 2 % for open data).  Recorded
+            in the fitted model, so a loaded model applies the same
+            threshold.
         materialize:
             When True the joined table is materialized in the result.
+        num_workers:
+            Worker processes for the apply stage (1 = serial, 0 = all
+            cores; ``None`` honours ``REPRO_NUM_WORKERS``).  Matching and
+            discovery carry their own knobs
+            (``MatchingConfig.num_workers`` / ``DiscoveryConfig.num_workers``);
+            all three resolve through
+            :func:`~repro.parallel.executor.tuned_num_workers`.
         """
         self._matcher = matcher or NGramRowMatcher()
         self._discovery = TransformationDiscovery(discovery_config)
         self._min_support = min_support
         self._materialize = materialize
+        self._num_workers = num_workers
 
     @property
     def discovery_engine(self) -> TransformationDiscovery:
         """The underlying discovery engine."""
         return self._discovery
 
-    def run(
+    # ------------------------------------------------------------------ #
+    # fit: matching + discovery -> model
+    # ------------------------------------------------------------------ #
+    def fit(
         self,
         source: Table,
         target: Table,
         *,
         source_column: str,
         target_column: str,
-    ) -> PipelineResult:
-        """Run the full pipeline on one table pair."""
+    ) -> TransformationModel:
+        """Learn a :class:`TransformationModel` from one table pair.
+
+        Runs row matching and transformation discovery; the returned model
+        carries the covering set, its coverage statistics, the discovery
+        configuration and this pipeline's ``min_support`` — everything
+        :meth:`apply` (or a later process that only calls
+        ``TransformationModel.load``) needs.  The live
+        :class:`DiscoveryResult` stays attached as ``model.discovery``.
+        """
         candidate_pairs = self._matcher.match(
             source,
             target,
@@ -100,13 +165,33 @@ class JoinPipeline:
             target_column=target_column,
         )
         discovery = self._discovery.discover(candidate_pairs)
-
-        joiner = TransformationJoiner(
-            discovery.transformations,
+        return TransformationModel.from_discovery(
+            discovery,
+            config=self._discovery.config,
             min_support=self._min_support,
-            coverage_results=discovery.cover,
-            num_candidate_pairs=discovery.num_candidate_pairs,
-            case_insensitive=self._discovery.config.case_insensitive,
+        )
+
+    # ------------------------------------------------------------------ #
+    # apply: model + any table pair -> joined pairs (no re-discovery)
+    # ------------------------------------------------------------------ #
+    def apply(
+        self,
+        model: TransformationModel,
+        source: Table,
+        target: Table,
+        *,
+        source_column: str,
+        target_column: str,
+    ) -> ApplyResult:
+        """Join a (possibly unseen) table pair with a fitted model.
+
+        No matching and no discovery run here: the model's transformations
+        are compiled into the batched apply engine, filtered by the model's
+        recorded support threshold, and equi-joined against the target
+        column — the pure serving path.
+        """
+        joiner = model.joiner(
+            num_workers=self._num_workers,
         )
         join_result = joiner.join(
             source,
@@ -116,15 +201,46 @@ class JoinPipeline:
         )
         joined_table = None
         if self._materialize:
-            joined_table = joiner.materialize(
-                source,
-                target,
-                source_column=source_column,
-                target_column=target_column,
-            )
-        return PipelineResult(
-            candidate_pairs=len(candidate_pairs),
-            discovery=discovery,
+            # Materialize from the pairs already computed — the apply stage
+            # must not run twice.
+            joined_table = joiner.materialize_from(join_result, source, target)
+        return ApplyResult(
+            model=model,
             join=join_result,
+            applied_transformations=joiner.transformations,
             joined_table=joined_table,
+        )
+
+    # ------------------------------------------------------------------ #
+    # run: the one-shot composition
+    # ------------------------------------------------------------------ #
+    def run(
+        self,
+        source: Table,
+        target: Table,
+        *,
+        source_column: str,
+        target_column: str,
+    ) -> PipelineResult:
+        """Run the full pipeline on one table pair (fit, then apply)."""
+        model = self.fit(
+            source,
+            target,
+            source_column=source_column,
+            target_column=target_column,
+        )
+        applied = self.apply(
+            model,
+            source,
+            target,
+            source_column=source_column,
+            target_column=target_column,
+        )
+        discovery = model.discovery
+        assert discovery is not None  # fit always attaches the live result
+        return PipelineResult(
+            candidate_pairs=model.num_candidate_pairs,
+            discovery=discovery,
+            join=applied.join,
+            joined_table=applied.joined_table,
         )

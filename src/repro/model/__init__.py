@@ -1,0 +1,62 @@
+"""The artifact layer: serializable transformation models and apply-only execution.
+
+This package is the *train once, persist, apply many times* seam of the
+system (the separation profiling/join libraries such as ``py_stringsimjoin``
+draw between building filters and executing joins):
+
+``repro.model.serialization``
+    Versioned JSON (de)serialization of transformation units, whole
+    transformations and discovery configs, with strict validation.
+``repro.model.artifact``
+    :class:`TransformationModel` — the fitted covering set plus coverage
+    statistics and the discovery config that produced it; round-trips
+    through ``dumps``/``loads`` and ``save``/``load``.
+``repro.model.apply``
+    The apply-only execution engine: transformations compiled once into the
+    packed unit-prefix trie and applied to arbitrary new rows, serial or
+    process-sharded.
+
+Typical usage::
+
+    from repro import JoinPipeline, TransformationModel
+
+    model = JoinPipeline().fit(source, target,
+                               source_column="Name", target_column="Name")
+    model.save("model.json")
+
+    # later, in another process — no re-discovery:
+    model = TransformationModel.load("model.json")
+    outcome = JoinPipeline().apply(model, new_source, new_target,
+                                   source_column="Name", target_column="Name")
+"""
+
+from repro.model.apply import TransformationApplier, transform_trie_rows
+from repro.model.artifact import TransformationModel
+from repro.model.serialization import (
+    FORMAT_NAME,
+    SCHEMA_VERSION,
+    ModelFormatError,
+    SchemaVersionError,
+    config_from_dict,
+    config_to_dict,
+    transformation_from_dict,
+    transformation_to_dict,
+    unit_from_dict,
+    unit_to_dict,
+)
+
+__all__ = [
+    "FORMAT_NAME",
+    "ModelFormatError",
+    "SCHEMA_VERSION",
+    "SchemaVersionError",
+    "TransformationApplier",
+    "TransformationModel",
+    "config_from_dict",
+    "config_to_dict",
+    "transform_trie_rows",
+    "transformation_from_dict",
+    "transformation_to_dict",
+    "unit_from_dict",
+    "unit_to_dict",
+]

@@ -1,0 +1,261 @@
+"""The apply-only execution engine: batch-transform arbitrary rows.
+
+Discovery needs coverage — *does* this transformation map source to target —
+but the apply path of a persisted :class:`~repro.model.artifact.TransformationModel`
+needs outputs: the transformed value of every (transformation, source row)
+combination, over rows that were never part of training.  The one-at-a-time
+loop (``transformation.apply(value)`` per transformation per row) re-applies
+shared unit prefixes and re-splits the same value once per split unit; this
+module instead compiles the transformation set into the same packed
+unit-prefix trie the coverage engine of :mod:`repro.core.coverage` walks
+(PR 4's opcode specialization included) and evaluates each unit at most once
+per (unit, row):
+
+* transformations sharing a unit prefix share the prefix's outputs — one
+  evaluation feeds every subtree below it;
+* split-family units of one delimiter share a single ``str.split`` per row
+  through the per-row split caches;
+* a unit that is not applicable to a row (``None`` output) prunes its whole
+  subtree for that row in one step.
+
+There is no target column here, so none of the coverage walk's
+target-anchored machinery applies: no literal-anchor prefilter (nothing to
+scan), no positional pruning (no prefix to diverge from), no non-covering
+cache (``output not in target`` is a coverage notion).  The walk is a plain
+depth-first descent accumulating concatenated output strings, and its
+results are exactly ``transformation.apply(value)`` for every pair — the
+property tests assert that equivalence against the reference loop.
+
+Every structure is per-row, so the kernel shards exactly like the coverage
+kernel: :func:`repro.parallel.transform.sharded_transform` splits the rows
+across a :class:`~repro.parallel.executor.ShardedExecutor` sharing the
+frozen trie and concatenates shard outputs in order, byte-identical to the
+serial walk.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.coverage import (
+    _OP_LITERAL,
+    _OP_SPLIT,
+    _OP_SPLITSUBSTR,
+    _OP_SUBSTR,
+    _OP_TWOCHAR,
+    PackedTrie,
+    _build_unit_trie,
+)
+from repro.core.transformation import Transformation
+from repro.parallel.executor import tuned_num_workers
+
+
+def transform_trie_rows(
+    values: Sequence[str],
+    row_offset: int,
+    trie: PackedTrie,
+) -> dict[int, list[tuple[int, str]]]:
+    """Apply every transformation of *trie* to every value of *values*.
+
+    This is the batched apply kernel, shared by the serial engine (all rows,
+    ``row_offset=0``) and the process-sharded engine (a contiguous row
+    slice, with *row_offset* restoring global row ids).  Returns a mapping
+    from a transformation's index in the trie to its ``(row, output)``
+    pairs, rows ascending; combinations where some unit was not applicable
+    are absent (exactly the rows where ``Transformation.apply`` returns
+    ``None``).
+    """
+    outputs: dict[int, list[tuple[int, str]]] = {}
+    num_units = trie.num_units
+    num_delimiters = trie.num_delimiters
+    root_edges = trie.root_edges
+    root_terminals = trie.root_terminals
+
+    for slot, source in enumerate(values):
+        row = row_offset + slot
+        # Per-row caches, same layout as the coverage walk: the unit-output
+        # memo (False = not yet applied; outputs are str or None) indexed by
+        # the build-time unit ordinals, and the split caches shared by
+        # split-family units of one delimiter.
+        memo: list = [False] * num_units
+        split_cache: list = [None] * num_delimiters
+        tsplit_cache: dict = {}
+
+        stack: list[tuple[list, list[int], str]] = [(root_edges, root_terminals, "")]
+        push = stack.append
+        pop = stack.pop
+        while stack:
+            edges, terminals, prefix = pop()
+            for index in terminals:
+                # Every unit on the path applied: the concatenated prefix is
+                # this transformation's output for the row.
+                outputs.setdefault(index, []).append((row, prefix))
+            for edge in edges:
+                op = edge[1]
+                args = edge[2]
+                if op == _OP_LITERAL:
+                    # Literals always apply; no memo needed.
+                    push((edge[3], edge[4], prefix + args[0]))
+                    continue
+                unit_id = edge[0]
+                output = memo[unit_id]
+                if output is False:
+                    # NOTE: the opcode evaluation below intentionally mirrors
+                    # the coverage walker in repro/core/coverage.py
+                    # (_walk_trie_rows) minus its target-anchored checks; both
+                    # must keep matching the units' apply() semantics — the
+                    # property tests pin each kernel to Transformation.apply
+                    # directly, so a change to unit semantics must update all
+                    # three places.
+                    if op == _OP_SPLITSUBSTR:
+                        delimiter, piece_index, start, end, delimiter_id = args
+                        pieces = split_cache[delimiter_id]
+                        if pieces is None:
+                            pieces = split_cache[delimiter_id] = source.split(
+                                delimiter
+                            )
+                        num_pieces = len(pieces)
+                        if num_pieces < 2 or piece_index >= num_pieces:
+                            output = None
+                        else:
+                            piece = pieces[piece_index]
+                            output = piece[start:end] if end <= len(piece) else None
+                    elif op == _OP_SPLIT:
+                        pieces = split_cache[args[2]]
+                        if pieces is None:
+                            pieces = split_cache[args[2]] = source.split(args[0])
+                        num_pieces = len(pieces)
+                        if num_pieces < 2 or args[1] >= num_pieces:
+                            output = None
+                        else:
+                            output = pieces[args[1]]
+                    elif op == _OP_SUBSTR:
+                        output = (
+                            source[args[0] : args[1]]
+                            if args[1] <= len(source)
+                            else None
+                        )
+                    elif op == _OP_TWOCHAR:
+                        key = (args[0], args[1])
+                        pieces = tsplit_cache.get(key, False)
+                        if pieces is False:
+                            if args[0] in source or args[1] in source:
+                                mode = args[5]
+                                if mode == 2:
+                                    pieces = source.replace(args[1], args[0]).split(
+                                        args[0]
+                                    )
+                                elif mode == 1:
+                                    pieces = source.split(args[0])
+                                elif mode == -1:
+                                    pieces = source.split(args[1])
+                                else:
+                                    pieces = [source]
+                            else:
+                                pieces = None
+                            tsplit_cache[key] = pieces
+                        if pieces is None or args[2] >= len(pieces):
+                            output = None
+                        else:
+                            piece = pieces[args[2]]
+                            output = (
+                                piece[args[3] : args[4]]
+                                if args[4] <= len(piece)
+                                else None
+                            )
+                    else:  # _OP_APPLY: unknown unit subclasses keep apply()
+                        output = args[0](source)
+                    memo[unit_id] = output
+                if output is not None:
+                    push((edge[3], edge[4], prefix + output))
+                # output is None: the unit is not applicable to this row,
+                # so no transformation below this edge produces a value.
+    return outputs
+
+
+class TransformationApplier:
+    """Compile a transformation set once, then batch-transform any rows.
+
+    The compiled trie is read-only after construction (it is the same
+    :class:`~repro.core.coverage.PackedTrie` the coverage engine freezes),
+    so one applier can serve many :meth:`transform_rows` calls — the
+    fit-once / apply-many shape of the artifact layer — and ships to worker
+    processes once per sharded run.
+    """
+
+    def __init__(self, transformations: Sequence[Transformation]) -> None:
+        self._transformations = list(transformations)
+        self._trie: PackedTrie | None = (
+            _build_unit_trie(self._transformations)
+            if self._transformations
+            else None
+        )
+
+    @property
+    def transformations(self) -> list[Transformation]:
+        """The compiled transformations, in input order."""
+        return list(self._transformations)
+
+    @property
+    def trie(self) -> PackedTrie | None:
+        """The frozen unit-prefix trie (``None`` for an empty set)."""
+        return self._trie
+
+    def transform_rows(
+        self,
+        values: Sequence[str],
+        *,
+        num_workers: int = 1,
+        min_rows_per_worker: int | None = None,
+    ) -> dict[int, list[tuple[int, str]]]:
+        """Outputs of every transformation over *values*.
+
+        Returns the kernel mapping (transformation index → ascending
+        ``(row, output)`` pairs; non-applicable combinations absent).  With
+        ``num_workers`` above 1 the rows are sharded across a process pool
+        (0 = all cores); the resolution goes through
+        :func:`~repro.parallel.executor.tuned_num_workers`, so small inputs
+        take the serial path regardless — results are identical either way.
+        """
+        if self._trie is None or not values:
+            return {}
+        workers = tuned_num_workers(
+            num_workers,
+            len(values),
+            min_items_per_worker=min_rows_per_worker,
+        )
+        if workers > 1:
+            from repro.parallel.transform import sharded_transform
+
+            return sharded_transform(values, self._trie, num_workers=workers)
+        return transform_trie_rows(values, 0, self._trie)
+
+    def apply_all(
+        self,
+        values: Sequence[str],
+        *,
+        num_workers: int = 1,
+        min_rows_per_worker: int | None = None,
+    ) -> list[list[str | None]]:
+        """Dense output table: ``result[t][row]`` is the transformed value.
+
+        The dense convenience view of :meth:`transform_rows` —
+        ``None`` marks non-applicable combinations, matching
+        ``Transformation.apply``.
+        """
+        table: list[list[str | None]] = [
+            [None] * len(values) for _ in self._transformations
+        ]
+        outputs = self.transform_rows(
+            values,
+            num_workers=num_workers,
+            min_rows_per_worker=min_rows_per_worker,
+        )
+        for index, pairs in outputs.items():
+            row_outputs = table[index]
+            for row, output in pairs:
+                row_outputs[row] = output
+        return table
+
+
+__all__ = ["TransformationApplier", "transform_trie_rows"]

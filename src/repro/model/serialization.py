@@ -1,0 +1,178 @@
+"""Versioned JSON (de)serialization of transformations and configs.
+
+The artifact layer ships discovered transformations across process and
+machine boundaries, so its wire format is explicit and versioned instead of
+pickled:
+
+* every unit serializes to a flat dict ``{"unit": <class name>, **fields}``
+  using the unit dataclasses' own fields — only the registered unit classes
+  (:data:`repro.core.units.UNIT_CLASSES`) are serializable, so a custom
+  subclass cannot silently round-trip into a different behaviour;
+* a transformation is the list of its unit dicts;
+* a :class:`~repro.core.config.DiscoveryConfig` serializes field by field
+  (the ``extra`` escape hatch included), so a loaded model records exactly
+  the discovery settings that produced it.
+
+Deserialization is strict: unknown unit names, missing or extra fields, and
+out-of-range values all raise :class:`ModelFormatError` (unit constructors
+re-validate through their ``__post_init__`` hooks, so a hand-edited file
+cannot smuggle in an invalid unit).  Schema evolution is handled one level
+up, by :class:`~repro.model.artifact.TransformationModel` comparing the
+file's ``schema_version`` against :data:`SCHEMA_VERSION` and raising
+:class:`SchemaVersionError` on mismatch.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from repro.core.config import DiscoveryConfig
+from repro.core.transformation import Transformation
+from repro.core.units import UNIT_CLASSES, TransformationUnit
+
+#: Version of the on-disk model schema.  Bump on any incompatible change to
+#: the payload layout; loaders refuse versions they do not know (no silent
+#: best-effort parsing of a future or past layout).
+SCHEMA_VERSION = 1
+
+#: The ``format`` tag every model file carries, so an arbitrary JSON file is
+#: rejected with a clear error instead of a confusing KeyError.
+FORMAT_NAME = "repro.transformation-model"
+
+
+class ModelFormatError(ValueError):
+    """The payload is not a valid transformation model (corrupt or foreign)."""
+
+
+class SchemaVersionError(ModelFormatError):
+    """The payload's schema version is not supported by this library."""
+
+
+def unit_to_dict(unit: TransformationUnit) -> dict[str, Any]:
+    """Serialize one transformation unit to a JSON-able dict."""
+    name = type(unit).__name__
+    registered = UNIT_CLASSES.get(name)
+    if registered is not type(unit):
+        raise ModelFormatError(
+            f"cannot serialize unit of unregistered type {type(unit)!r}; "
+            f"serializable units: {sorted(UNIT_CLASSES)}"
+        )
+    # Every registered unit class is a frozen dataclass; the base class is
+    # not, hence the narrow ignore.
+    return {"unit": name, **dataclasses.asdict(unit)}  # type: ignore[call-overload]
+
+
+#: The only field types unit dataclasses use, keyed by their annotation
+#: source text (the unit module uses ``from __future__ import annotations``,
+#: so ``field.type`` is a string).
+_UNIT_FIELD_TYPES = {"str": str, "int": int}
+
+
+def unit_from_dict(payload: Any) -> TransformationUnit:
+    """Deserialize one transformation unit, validating strictly."""
+    if not isinstance(payload, dict):
+        raise ModelFormatError(f"unit payload must be an object, got {payload!r}")
+    fields = dict(payload)
+    name = fields.pop("unit", None)
+    if not isinstance(name, str):
+        raise ModelFormatError(f"unit type must be a string, got {name!r}")
+    unit_class = UNIT_CLASSES.get(name)
+    if unit_class is None:
+        raise ModelFormatError(
+            f"unknown unit type {name!r}; valid types: {sorted(UNIT_CLASSES)}"
+        )
+    declared = dataclasses.fields(unit_class)  # type: ignore[arg-type]
+    expected = {field.name for field in declared}
+    if set(fields) != expected:
+        raise ModelFormatError(
+            f"unit {name!r} requires fields {sorted(expected)}, "
+            f"got {sorted(fields)}"
+        )
+    for field in declared:
+        # The constructors' __post_init__ validators only range-check, so a
+        # wrong-typed value (a dict delimiter, a boolean index) would pass
+        # construction and blow up much later at apply time — reject here.
+        value = fields[field.name]
+        expected_type = _UNIT_FIELD_TYPES.get(field.type)
+        if expected_type is None:  # pragma: no cover - future field types
+            continue
+        if not isinstance(value, expected_type) or isinstance(value, bool):
+            raise ModelFormatError(
+                f"unit {name!r} field {field.name!r} must be "
+                f"{field.type}, got {value!r}"
+            )
+    try:
+        return unit_class(**fields)
+    except (TypeError, ValueError) as error:
+        raise ModelFormatError(f"invalid {name} unit: {error}") from error
+
+
+def transformation_to_dict(transformation: Transformation) -> list[dict[str, Any]]:
+    """Serialize a transformation as the list of its unit dicts."""
+    return [unit_to_dict(unit) for unit in transformation.units]
+
+
+def transformation_from_dict(payload: Any) -> Transformation:
+    """Deserialize a transformation from its unit-dict list."""
+    if not isinstance(payload, list) or not payload:
+        raise ModelFormatError(
+            f"transformation payload must be a non-empty list of units, "
+            f"got {payload!r}"
+        )
+    return Transformation(unit_from_dict(unit) for unit in payload)
+
+
+#: DiscoveryConfig fields stored in the model payload — everything, so the
+#: artifact is a complete provenance record of the run that produced it.
+_CONFIG_FIELDS = tuple(field.name for field in dataclasses.fields(DiscoveryConfig))
+
+
+def config_to_dict(config: DiscoveryConfig) -> dict[str, Any]:
+    """Serialize a :class:`DiscoveryConfig` field by field."""
+    payload: dict[str, Any] = {}
+    for name in _CONFIG_FIELDS:
+        value = getattr(config, name)
+        if isinstance(value, tuple):
+            value = list(value)
+        payload[name] = value
+    return payload
+
+
+def config_from_dict(payload: Any) -> DiscoveryConfig:
+    """Deserialize a :class:`DiscoveryConfig`, validating strictly.
+
+    Unknown keys are rejected (a newer writer's config does not silently
+    lose settings in an older reader — the schema version should have caught
+    that first, but hand-edited files exist).
+    """
+    if not isinstance(payload, dict):
+        raise ModelFormatError(
+            f"discovery_config must be an object, got {payload!r}"
+        )
+    unknown = set(payload) - set(_CONFIG_FIELDS)
+    if unknown:
+        raise ModelFormatError(
+            f"unknown discovery_config fields {sorted(unknown)}"
+        )
+    fields = dict(payload)
+    if "enabled_units" in fields and isinstance(fields["enabled_units"], list):
+        fields["enabled_units"] = tuple(fields["enabled_units"])
+    try:
+        return DiscoveryConfig(**fields)
+    except (TypeError, ValueError) as error:
+        raise ModelFormatError(f"invalid discovery_config: {error}") from error
+
+
+__all__ = [
+    "FORMAT_NAME",
+    "ModelFormatError",
+    "SCHEMA_VERSION",
+    "SchemaVersionError",
+    "config_from_dict",
+    "config_to_dict",
+    "transformation_from_dict",
+    "transformation_to_dict",
+    "unit_from_dict",
+    "unit_to_dict",
+]

@@ -1,8 +1,8 @@
-"""Process-sharded execution of the matching/coverage hot path.
+"""Process-sharded execution of the matching/coverage/apply hot paths.
 
-Rows are independent in both hot stages of the pipeline, so this package
-shards them across a process pool while keeping results byte-identical to
-the serial engines (which remain the executable spec):
+Rows are independent in all three hot stages of the pipeline, so this
+package shards them across a process pool while keeping results
+byte-identical to the serial engines (which remain the executable spec):
 
 * :mod:`repro.parallel.executor` — the :class:`ShardedExecutor`: one pool
   per run, read-only state (packed index, frozen unit trie) shared
@@ -13,12 +13,18 @@ the serial engines (which remain the executable spec):
   covered rows always, identical cache statistics from a cold cache —
   workers never see a computer's warmed persistent cache);
 * :mod:`repro.parallel.matching` — source-row-sharded candidate matching
-  (identical pairs, order and Rscore tie behaviour).
+  (identical pairs, order and Rscore tie behaviour);
+* :mod:`repro.parallel.transform` — source-row-sharded batch
+  transformation for the apply-only path of the artifact layer (identical
+  outputs, ascending row order per transformation).
 
-The knobs are ``DiscoveryConfig.num_workers`` and
-``MatchingConfig.num_workers`` (1 = serial, 0 = all cores; defaults honour
-the ``REPRO_NUM_WORKERS`` environment variable), surfaced on the CLI as
-``--num-workers`` and on the perf harness as ``--workers``.
+The knobs are ``DiscoveryConfig.num_workers``,
+``MatchingConfig.num_workers`` and ``TransformationJoiner``'s
+``num_workers`` (1 = serial, 0 = all cores; defaults honour the
+``REPRO_NUM_WORKERS`` environment variable), surfaced on the CLI as
+``--num-workers`` and on the perf harness as ``--workers``.  Every one of
+them resolves through :func:`~repro.parallel.executor.tuned_num_workers`,
+so "all cores" consistently honours the small-input fast path.
 """
 
 from repro.parallel.executor import (
@@ -28,6 +34,7 @@ from repro.parallel.executor import (
     map_sharded,
     resolve_num_workers,
     shard_plan,
+    tuned_num_workers,
     worker_state,
 )
 
@@ -38,5 +45,6 @@ __all__ = [
     "map_sharded",
     "resolve_num_workers",
     "shard_plan",
+    "tuned_num_workers",
     "worker_state",
 ]

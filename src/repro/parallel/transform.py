@@ -1,0 +1,85 @@
+"""Process-sharded batch transformation (the apply-only path).
+
+The apply kernel of :mod:`repro.model.apply` walks the frozen unit-prefix
+trie once per source row, and every structure it touches — the unit-output
+memo, the split caches, the accumulated output prefixes — is per-row, so
+sharding rows across processes cannot change any output.  The
+:class:`~repro.core.coverage.PackedTrie` is compiled once in the parent and
+shared with the workers through the
+:class:`~repro.parallel.executor.ShardedExecutor` (copy-on-write under
+fork, pickled once per worker under spawn); each task is a ``(start,
+stop)`` row range.
+
+The merge is order-preserving: shard results come back in ascending shard
+order and each transformation's ``(row, output)`` list is extended shard by
+shard, so the merged per-transformation outputs are in the same ascending
+row order as the serial kernel — byte-identical results, any worker count.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.coverage import PackedTrie
+from repro.model.apply import transform_trie_rows
+from repro.parallel.executor import ShardedExecutor, worker_state
+
+
+class TransformShardState:
+    """Read-only state shared with transform workers: values + frozen trie."""
+
+    __slots__ = ("values", "trie")
+
+    def __init__(self, values: list[str], trie: PackedTrie) -> None:
+        self.values = values
+        self.trie = trie
+
+    def __getstate__(self):
+        return (self.values, self.trie)
+
+    def __setstate__(self, state) -> None:
+        self.values, self.trie = state
+
+
+def _transform_worker(start: int, stop: int) -> dict[int, list[tuple[int, str]]]:
+    """Transform the shared values in ``[start, stop)`` (global row ids)."""
+    state: TransformShardState = worker_state()
+    return transform_trie_rows(state.values[start:stop], start, state.trie)
+
+
+def sharded_transform(
+    values: Sequence[str],
+    trie: PackedTrie,
+    *,
+    num_workers: int,
+    start_method: str | None = None,
+    task_timeout: float | None = None,
+) -> dict[int, list[tuple[int, str]]]:
+    """Apply the trie's transformations to *values*, sharded by row.
+
+    Returns the same mapping as
+    :func:`~repro.model.apply.transform_trie_rows` over all rows —
+    byte-identical to the serial kernel.
+    """
+    state = TransformShardState(list(values), trie)
+    outputs: dict[int, list[tuple[int, str]]] = {}
+    executor = ShardedExecutor(
+        state,
+        num_workers=num_workers,
+        start_method=start_method,
+        task_timeout=task_timeout,
+    )
+    with executor:
+        for shard_outputs in executor.map_shards(
+            _transform_worker, len(state.values)
+        ):
+            for index, pairs in shard_outputs.items():
+                existing = outputs.get(index)
+                if existing is None:
+                    outputs[index] = pairs
+                else:
+                    existing.extend(pairs)
+    return outputs
+
+
+__all__ = ["TransformShardState", "sharded_transform"]

@@ -1,7 +1,9 @@
 """Benchmark-tracked performance harness.
 
 :class:`~repro.perf.runner.BenchmarkRunner` times the pipeline's hot stages
-(row matching, transformation generation, coverage, cover selection) on a
+(row matching, transformation generation, coverage, cover selection, and the
+artifact layer's apply-only join — its own ``apply_only`` stage, so BENCH
+files track serving throughput separately from training cost) on a
 synthetic size ladder and writes ``BENCH_<name>.json`` reports, so the perf
 trajectory of the reproduction is tracked in-repo from PR to PR.  Every run
 can include the preserved seed implementations

@@ -49,6 +49,7 @@ from pathlib import Path
 from repro.core.config import DiscoveryConfig
 from repro.core.discovery import DiscoveryResult, TransformationDiscovery
 from repro.datasets.synthetic import SyntheticConfig, generate_table_pair
+from repro.join.joiner import TransformationJoiner
 from repro.matching.reference import ReferenceRowMatcher
 from repro.matching.row_matcher import MatchingConfig, NGramRowMatcher, RowMatcher
 from repro.parallel.executor import default_start_method, tuned_num_workers
@@ -220,11 +221,19 @@ class BenchmarkRunner:
         num_workers: int = 1,
         row_length: int | None = None,
         values: tuple[list[str], list[str]] | None = None,
-    ) -> tuple[dict, list, DiscoveryResult]:
-        """Time row matching + discovery at one rung.
+    ) -> tuple[dict, list, DiscoveryResult, list[tuple[int, int]]]:
+        """Time row matching + discovery + the apply-only join at one rung.
 
-        Returns ``(record, pairs, discovery_result)`` so callers can compare
-        results across engines.
+        Returns ``(record, pairs, discovery_result, joined_pairs)`` so
+        callers can compare results across engines.  The ``apply_only``
+        stage joins the rung's own columns with the *already discovered*
+        cover — no matching, no re-discovery — which is exactly the serving
+        path of a persisted :class:`~repro.model.artifact.TransformationModel`;
+        tracking it separately is what lets the BENCH files show apply
+        throughput independently of training cost.  The seed engine applies
+        with the reference one-at-a-time loop, the packed engine with the
+        trie-compiled batch applier (sharded at the rung's worker count), so
+        the rung's ``identical`` flag also certifies the apply engines agree.
         """
         source_values, target_values = values or self.rung_values(
             num_rows, row_length=row_length
@@ -240,24 +249,36 @@ class BenchmarkRunner:
         result = discovery.discover(pairs)
         discovery_seconds = time.perf_counter() - started
 
+        joiner = TransformationJoiner(
+            result.transformations,
+            num_workers=num_workers,
+            use_batched_apply=(engine == "packed"),
+        )
+        started = time.perf_counter()
+        join_result = joiner.join_values(source_values, target_values)
+        apply_seconds = time.perf_counter() - started
+
         stages = {"row_matching": matching_seconds}
         stages.update(result.stats.stage_seconds)
+        stages["apply_only"] = apply_seconds
         record = {
             "stages": stages,
-            "total_s": matching_seconds + discovery_seconds,
+            "total_s": matching_seconds + discovery_seconds + apply_seconds,
             "matching_s": matching_seconds,
             "discovery_s": discovery_seconds,
+            "apply_s": apply_seconds,
             "num_pairs": len(pairs),
             "num_transformations": result.stats.unique_transformations,
             "cover_size": len(result.cover),
             "top_coverage": result.top_coverage,
+            "joined_pairs": join_result.num_pairs,
             "num_workers": num_workers,
             # What the small-input fast path actually ran with (coverage
             # shards over candidate pairs) — the honest denominator for
             # any parallel-efficiency reading of this record.
             "effective_workers": tuned_num_workers(num_workers, len(pairs)),
         }
-        return record, pairs, result
+        return record, pairs, result, join_result.pairs
 
     # ------------------------------------------------------------------ #
     # Ladder sweeps
@@ -304,10 +325,10 @@ class BenchmarkRunner:
                 for num_workers in worker_counts:
                     label = engine if num_workers == 1 else f"{engine}-w{num_workers}"
                     if discovery:
-                        record, pairs, result = self.discovery_rung(
+                        record, pairs, result, joined = self.discovery_rung(
                             num_rows, engine, num_workers=num_workers, values=values
                         )
-                        outputs[label] = (pairs, result.cover)
+                        outputs[label] = (pairs, result.cover, joined)
                     else:
                         record, pairs = self.matching_rung(
                             num_rows, engine, num_workers=num_workers, values=values
@@ -442,6 +463,7 @@ def validate_payload(payload: dict) -> list[str]:
     """
     problems: list[str] = []
     rungs = payload.get("rungs") or []
+    is_discovery = payload.get("benchmark") == "discovery"
     if not rungs:
         problems.append("no rungs recorded")
     for rung in rungs:
@@ -462,6 +484,13 @@ def validate_payload(payload: dict) -> list[str]:
                 problems.append(f"{label}: no candidate pairs produced")
             if "num_transformations" in record and record["num_transformations"] <= 0:
                 problems.append(f"{label}: no transformations generated")
+            if is_discovery and stages and "apply_only" not in stages:
+                # Discovery payloads must track apply throughput separately
+                # from training — a missing stage means the apply-only path
+                # silently fell out of the harness.
+                problems.append(f"{label}: no apply_only stage recorded")
+            if is_discovery and record.get("joined_pairs", 0) <= 0:
+                problems.append(f"{label}: apply-only join produced no pairs")
         if len(engines) > 1 and "identical" not in rung:
             problems.append(
                 f"rung {rows}: multiple engines recorded but no identical flag"

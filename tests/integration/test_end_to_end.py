@@ -28,6 +28,7 @@ from repro.evaluation.matching_metrics import evaluate_matching
 from repro.join.joiner import TransformationJoiner
 from repro.join.pipeline import JoinPipeline
 from repro.matching.row_matcher import GoldenRowMatcher, MatchingConfig, NGramRowMatcher
+from repro.model import TransformationModel
 
 
 @pytest.fixture(scope="module")
@@ -247,6 +248,96 @@ class TestEndToEndPipeline:
         metrics = evaluate_join(outcome.joined_pairs, pair.golden_pairs)
         # Precision-oriented behaviour: what is joined is mostly right.
         assert metrics.precision > 0.6
+
+
+class TestFitApplySessions:
+    """The artifact-layer acceptance contract: train once, apply anywhere."""
+
+    def test_fit_then_apply_equals_one_shot_run(self, small_web_dataset):
+        pair = small_web_dataset[0]
+        pipeline = JoinPipeline(min_support=0.05)
+        columns = dict(
+            source_column=pair.source_column, target_column=pair.target_column
+        )
+        one_shot = pipeline.run(pair.source, pair.target, **columns)
+        model = pipeline.fit(pair.source, pair.target, **columns)
+        applied = pipeline.apply(model, pair.source, pair.target, **columns)
+        assert applied.join.pairs == one_shot.join.pairs
+        assert applied.join.matched_by == one_shot.join.matched_by
+        # The result reports the transformations the joiner actually ran.
+        assert applied.applied_transformations
+        assert set(applied.applied_transformations) <= set(model.transformations)
+
+    def test_saved_model_applies_to_a_held_out_batch(self, tmp_path):
+        # Fit on one open-data batch, persist, reload, and join a *different*
+        # batch (same fixed address-formatting rules, fresh addresses) — the
+        # joined pairs must equal a one-shot run on the held-out batch
+        # restricted to the model's transformations (the reference joiner
+        # loop), serial and sharded.
+        train = generate_open_data(num_source_rows=80, num_target_rows=200, seed=5)
+        held_out = generate_open_data(
+            num_source_rows=80, num_target_rows=200, seed=99
+        )
+        pipeline = JoinPipeline(min_support=0.05)
+        model = pipeline.fit(
+            train.source,
+            train.target,
+            source_column=train.source_column,
+            target_column=train.target_column,
+        )
+        loaded = TransformationModel.load(model.save(tmp_path / "model.json"))
+        assert loaded == model
+
+        applied = pipeline.apply(
+            loaded,
+            held_out.source,
+            held_out.target,
+            source_column=held_out.source_column,
+            target_column=held_out.target_column,
+        )
+        expected = loaded.joiner(num_workers=1).join_values_reference(
+            list(held_out.source[held_out.source_column]),
+            list(held_out.target[held_out.target_column]),
+        )
+        assert applied.join.pairs == expected.pairs
+
+        sharded = loaded.joiner(num_workers=2, min_rows_per_worker=0).join(
+            held_out.source,
+            held_out.target,
+            source_column=held_out.source_column,
+            target_column=held_out.target_column,
+        )
+        assert sharded.pairs == expected.pairs
+        # The model actually transfers: the held-out batch joins non-trivially
+        # and mostly correctly.
+        metrics = evaluate_join(applied.joined_pairs, held_out.golden_pairs)
+        assert applied.join.num_pairs > 0
+        assert metrics.precision > 0.6
+
+    def test_apply_does_not_rerun_discovery(self, small_web_dataset):
+        pair = small_web_dataset[0]
+        pipeline = JoinPipeline(min_support=0.05)
+        model = pipeline.fit(
+            pair.source,
+            pair.target,
+            source_column=pair.source_column,
+            target_column=pair.target_column,
+        )
+        loaded = TransformationModel.loads(model.dumps())
+
+        class ExplodingDiscovery:
+            def discover(self, pairs):  # pragma: no cover - defensive
+                raise AssertionError("apply must not re-run discovery")
+
+        pipeline._discovery = ExplodingDiscovery()
+        applied = pipeline.apply(
+            loaded,
+            pair.source,
+            pair.target,
+            source_column=pair.source_column,
+            target_column=pair.target_column,
+        )
+        assert applied.model is loaded
 
 
 class TestSamplingScalesDiscovery:

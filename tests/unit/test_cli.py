@@ -130,6 +130,148 @@ class TestJoinCommand:
         assert "joined rows" in capsys.readouterr().out
 
 
+class TestFitApplyCommands:
+    def test_fit_writes_model_and_apply_joins_with_it(
+        self, staff_csvs, tmp_path, capsys
+    ):
+        source_path, target_path = staff_csvs
+        model_path = tmp_path / "model.json"
+        exit_code = main(
+            [
+                "fit",
+                str(source_path),
+                str(target_path),
+                "--source-column",
+                "Name",
+                "--target-column",
+                "Name",
+                "--save",
+                str(model_path),
+                "--min-support",
+                "0.0",
+            ]
+        )
+        assert exit_code == 0
+        assert model_path.exists()
+        assert "wrote" in capsys.readouterr().out
+
+        output = tmp_path / "applied.csv"
+        exit_code = main(
+            [
+                "apply",
+                str(source_path),
+                str(target_path),
+                "--model",
+                str(model_path),
+                "--source-column",
+                "Name",
+                "--target-column",
+                "Name",
+                "--output",
+                str(output),
+            ]
+        )
+        assert exit_code == 0
+        applied = read_csv(output)
+        assert applied.num_rows >= 5
+        assert "joined rows" in capsys.readouterr().out
+
+    def test_fit_then_apply_matches_one_shot_join(self, staff_csvs, tmp_path):
+        # The acceptance contract: fit + apply on the same inputs produces
+        # exactly the joined table of the one-shot `join` command.
+        source_path, target_path = staff_csvs
+        model_path = tmp_path / "model.json"
+        one_shot = tmp_path / "one_shot.csv"
+        applied = tmp_path / "applied.csv"
+        columns = ["--source-column", "Name", "--target-column", "Name"]
+        paths = [str(source_path), str(target_path)]
+        assert (
+            main(
+                ["join"]
+                + paths
+                + columns
+                + ["--output", str(one_shot), "--min-support", "0.05"]
+            )
+            == 0
+        )
+        assert (
+            main(["fit"] + paths + columns + ["--save", str(model_path)]) == 0
+        )
+        assert (
+            main(
+                ["apply"]
+                + paths
+                + ["--model", str(model_path)]
+                + columns
+                + ["--output", str(applied)]
+            )
+            == 0
+        )
+        assert applied.read_text() == one_shot.read_text()
+
+    def test_fit_rejects_unwritable_save_path(self, staff_csvs, tmp_path, capsys):
+        source_path, target_path = staff_csvs
+        exit_code = main(
+            [
+                "fit",
+                str(source_path),
+                str(target_path),
+                "--source-column",
+                "Name",
+                "--target-column",
+                "Name",
+                "--save",
+                str(tmp_path / "missing-dir" / "model.json"),
+            ]
+        )
+        assert exit_code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_apply_rejects_missing_model_file(self, staff_csvs, tmp_path, capsys):
+        # Same clean error contract as a corrupt file: one line on stderr,
+        # exit 1 — not a traceback.
+        source_path, target_path = staff_csvs
+        exit_code = main(
+            [
+                "apply",
+                str(source_path),
+                str(target_path),
+                "--model",
+                str(tmp_path / "nowhere.json"),
+                "--source-column",
+                "Name",
+                "--target-column",
+                "Name",
+                "--output",
+                str(tmp_path / "out.csv"),
+            ]
+        )
+        assert exit_code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_apply_rejects_corrupt_model(self, staff_csvs, tmp_path, capsys):
+        source_path, target_path = staff_csvs
+        bad_model = tmp_path / "bad.json"
+        bad_model.write_text("{broken", encoding="utf-8")
+        exit_code = main(
+            [
+                "apply",
+                str(source_path),
+                str(target_path),
+                "--model",
+                str(bad_model),
+                "--source-column",
+                "Name",
+                "--target-column",
+                "Name",
+                "--output",
+                str(tmp_path / "out.csv"),
+            ]
+        )
+        assert exit_code == 1
+        assert "error" in capsys.readouterr().err
+
+
 class TestBenchmarkCommand:
     def test_materializes_dataset(self, tmp_path, capsys):
         exit_code = main(

@@ -124,6 +124,28 @@ class TestJoinPipeline:
         assert outcome.joined_table is not None
         assert outcome.joined_table.num_rows == len(outcome.join.pairs)
 
+    def test_materialization_joins_exactly_once(self, staff_tables, monkeypatch):
+        # The materialized table is built from the already-computed pairs;
+        # the apply stage must not run a second time for it.
+        from repro.join import joiner as joiner_module
+
+        calls = []
+        original = joiner_module.TransformationJoiner.join_values
+
+        def counting_join_values(self, source_values, target_values):
+            calls.append(1)
+            return original(self, source_values, target_values)
+
+        monkeypatch.setattr(
+            joiner_module.TransformationJoiner, "join_values", counting_join_values
+        )
+        source, target = staff_tables
+        outcome = JoinPipeline(min_support=0.0, materialize=True).run(
+            source, target, source_column="Name", target_column="Name"
+        )
+        assert outcome.joined_table is not None
+        assert len(calls) == 1
+
 
 class TestNaiveBaseline:
     def test_finds_simple_transformation_on_tiny_input(self):

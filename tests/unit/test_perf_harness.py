@@ -60,6 +60,45 @@ class TestBenchmarkRunner:
                 assert record["cover_size"] > 0
         assert validate_payload(discovery) == []
 
+    def test_discovery_payload_tracks_apply_only_stage(self, tiny_runner_payloads):
+        # The artifact layer's serving path is timed per rung, separately
+        # from training: its own stage, its own seconds, its own output
+        # count — and the rung's identical flag covers the joined pairs,
+        # so the seed (reference loop) and packed (trie) apply engines are
+        # continuously checked against each other.
+        _, _, discovery = tiny_runner_payloads
+        for rung in discovery["rungs"]:
+            for record in rung["engines"].values():
+                assert record["stages"]["apply_only"] >= 0
+                assert record["apply_s"] == record["stages"]["apply_only"]
+                assert record["joined_pairs"] > 0
+                assert record["total_s"] == pytest.approx(
+                    record["matching_s"]
+                    + record["discovery_s"]
+                    + record["apply_s"]
+                )
+
+    def test_validate_payload_requires_apply_stage_on_discovery(self):
+        payload = {
+            "benchmark": "discovery",
+            "rungs": [
+                {
+                    "rows": 10,
+                    "engines": {
+                        "packed": {
+                            "stages": {"row_matching": 0.1},
+                            "total_s": 0.1,
+                            "num_pairs": 3,
+                            "num_transformations": 2,
+                        }
+                    },
+                }
+            ],
+        }
+        problems = validate_payload(payload)
+        assert any("no apply_only stage" in problem for problem in problems)
+        assert any("no pairs" in problem for problem in problems)
+
     def test_max_seed_rows_caps_the_slow_engine(self):
         runner = BenchmarkRunner(ladder=(30, 60), sample_size=15)
         payload = runner.run_matching(max_seed_rows=30)
