@@ -37,7 +37,8 @@ from repro.evaluation.report import format_table
 from repro.join.pipeline import JoinPipeline
 from repro.matching.row_matcher import MatchingConfig, NGramRowMatcher
 from repro.model import ModelFormatError, TransformationModel
-from repro.table.io import read_csv, write_csv
+from repro.parallel import ShardError
+from repro.table.io import TableReadError, read_csv, write_csv
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -133,6 +134,7 @@ def build_parser() -> argparse.ArgumentParser:
             "at any worker count"
         ),
     )
+    _add_fault_arguments(apply_cmd)
 
     benchmark = subparsers.add_parser(
         "benchmark", help="materialize a built-in benchmark dataset as CSV files"
@@ -187,12 +189,54 @@ def _add_pair_arguments(parser: argparse.ArgumentParser) -> None:
             "or 1); results are identical at any worker count"
         ),
     )
+    parser.add_argument(
+        "--time-budget",
+        type=float,
+        default=0.0,
+        help=(
+            "wall-clock budget in seconds for transformation discovery "
+            "(0 = unbounded); when exhausted, the best cover found so far "
+            "is returned and a warning printed to stderr"
+        ),
+    )
+    _add_fault_arguments(parser)
+
+
+def _add_fault_arguments(parser: argparse.ArgumentParser) -> None:
+    """Fault-tolerance knobs shared by every sharded stage."""
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=0.0,
+        help=(
+            "wall-clock bound in seconds for each sharded parallel map "
+            "(0 = unbounded); shards that miss it are recomputed serially"
+        ),
+    )
+    parser.add_argument(
+        "--shard-retries",
+        type=int,
+        default=2,
+        help="pool retries per crashed or failed shard before falling back",
+    )
+    parser.add_argument(
+        "--no-serial-fallback",
+        action="store_true",
+        help=(
+            "fail with a typed error instead of recomputing failed shards "
+            "serially in the parent process"
+        ),
+    )
 
 
 def _discovery_config(args: argparse.Namespace) -> DiscoveryConfig:
     config = DiscoveryConfig(
         max_placeholders=args.max_placeholders,
         sample_size=args.sample_size,
+        time_budget_s=args.time_budget,
+        task_timeout_s=args.task_timeout,
+        shard_retries=args.shard_retries,
+        serial_fallback=not args.no_serial_fallback,
     )
     if args.num_workers is not None:
         config = config.replace(num_workers=args.num_workers)
@@ -200,10 +244,43 @@ def _discovery_config(args: argparse.Namespace) -> DiscoveryConfig:
 
 
 def _matcher(args: argparse.Namespace) -> NGramRowMatcher:
-    kwargs = dict(min_ngram=args.min_ngram, max_ngram=args.max_ngram)
+    kwargs = dict(
+        min_ngram=args.min_ngram,
+        max_ngram=args.max_ngram,
+        task_timeout_s=args.task_timeout,
+        shard_retries=args.shard_retries,
+        serial_fallback=not args.no_serial_fallback,
+    )
     if args.num_workers is not None:
         kwargs["num_workers"] = args.num_workers
     return NGramRowMatcher(MatchingConfig(**kwargs))
+
+
+def _warn_if_budget_exhausted(stats) -> None:
+    """One stderr line when discovery degraded to a best-so-far result.
+
+    Budget exhaustion is a *degraded success*, not a failure: the partial
+    cover is valid for the rows that were processed, so the command still
+    exits 0 — but the user must be told the result is partial.
+    """
+    if isinstance(stats, dict):
+        exhausted = bool(stats.get("budget_exhausted"))
+        stage = stats.get("budget_stage")
+        rows = stats.get("rows_fully_processed")
+    else:
+        exhausted = stats.budget_exhausted
+        stage = stats.budget_stage
+        rows = stats.rows_fully_processed
+    if not exhausted:
+        return
+    detail = f" during {stage}" if stage else ""
+    if rows is not None:
+        detail += f" after {rows} rows"
+    print(
+        f"warning: discovery time budget exhausted{detail}; "
+        "result is the best cover found in time",
+        file=sys.stderr,
+    )
 
 
 def run_discover(args: argparse.Namespace) -> int:
@@ -219,6 +296,7 @@ def run_discover(args: argparse.Namespace) -> int:
     )
     engine = TransformationDiscovery(_discovery_config(args).replace(top_k=args.top_k))
     result = engine.discover(candidates)
+    _warn_if_budget_exhausted(result.stats)
 
     print(f"candidate row pairs: {len(candidates)}")
     print(f"coverage of best transformation: {result.top_coverage:.3f}")
@@ -244,6 +322,9 @@ def run_join(args: argparse.Namespace) -> int:
         min_support=args.min_support,
         materialize=True,
         num_workers=args.num_workers,
+        task_timeout_s=args.task_timeout,
+        shard_retries=args.shard_retries,
+        serial_fallback=not args.no_serial_fallback,
     )
     outcome = pipeline.run(
         source,
@@ -251,6 +332,7 @@ def run_join(args: argparse.Namespace) -> int:
         source_column=args.source_column,
         target_column=args.target_column,
     )
+    _warn_if_budget_exhausted(outcome.discovery.stats)
     joined = outcome.joined_table
     assert joined is not None
     write_csv(joined, args.output)
@@ -271,6 +353,9 @@ def run_fit(args: argparse.Namespace) -> int:
         matcher=_matcher(args),
         discovery_config=_discovery_config(args),
         min_support=args.min_support,
+        task_timeout_s=args.task_timeout,
+        shard_retries=args.shard_retries,
+        serial_fallback=not args.no_serial_fallback,
     )
     model = pipeline.fit(
         source,
@@ -278,6 +363,7 @@ def run_fit(args: argparse.Namespace) -> int:
         source_column=args.source_column,
         target_column=args.target_column,
     )
+    _warn_if_budget_exhausted(model.stats)
     try:
         path = model.save(args.save)
     except OSError as error:
@@ -304,7 +390,13 @@ def run_apply(args: argparse.Namespace) -> int:
     target = read_csv(args.target_csv)
     # One code path for "apply a model to a table pair": the pipeline's
     # serving method (which joins once and materializes from the pairs).
-    pipeline = JoinPipeline(materialize=True, num_workers=args.num_workers)
+    pipeline = JoinPipeline(
+        materialize=True,
+        num_workers=args.num_workers,
+        task_timeout_s=args.task_timeout,
+        shard_retries=args.shard_retries,
+        serial_fallback=not args.no_serial_fallback,
+    )
     applied = pipeline.apply(
         model,
         source,
@@ -355,7 +447,14 @@ def main(argv: list[str] | None = None) -> int:
         "apply": run_apply,
         "benchmark": run_benchmark,
     }
-    return handlers[args.command](args)
+    try:
+        return handlers[args.command](args)
+    except (TableReadError, ShardError) as error:
+        # Unreadable input and unrecoverable shard failures (crash/timeout
+        # with serial fallback disabled, or the fallback itself failing)
+        # share the one-line stderr contract: no traceback, exit code 1.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

@@ -79,6 +79,29 @@ class DiscoveryConfig:
         identical results, none of the fork cost.  ``None`` (default) reads
         ``REPRO_MIN_ROWS_PER_WORKER``; 0 disables the tuning so pools fork
         for any input size.
+    time_budget_s:
+        Wall-clock budget in seconds for one discovery run (0 = unbounded).
+        The budget is enforced cooperatively: skeleton generation checks it
+        between rows and the batched coverage walk between row blocks, so
+        an exhausted budget degrades the run to a best-so-far cover of the
+        work finished in time instead of aborting.  The degradation is
+        recorded — ``DiscoveryStats.budget_exhausted`` (and therefore the
+        serialized model's provenance) is set, along with which stage hit
+        the budget and how many rows were fully processed.
+    task_timeout_s:
+        Wall-clock bound in seconds on each sharded map of the coverage
+        stage (0 = unbounded), enforced by the executor's submission-time
+        deadline.  With ``serial_fallback`` enabled a timed-out shard is
+        recomputed inline; otherwise it raises
+        :class:`~repro.parallel.errors.ShardTimeoutError`.
+    shard_retries:
+        Pool retries per failed shard (crash or worker exception) before
+        the executor falls back or raises.
+    serial_fallback:
+        Whether shards the pool cannot produce are recomputed serially
+        inline (True, the default — a flaky pool degrades to slower, never
+        to failed) or surface as typed
+        :class:`~repro.parallel.errors.ShardError`\\ s.
     top_k:
         How many of the highest-coverage transformations to report.
     case_insensitive:
@@ -108,6 +131,10 @@ class DiscoveryConfig:
     use_batched_coverage: bool = True
     num_workers: int = field(default_factory=env_default_workers)
     min_rows_per_worker: int | None = None
+    time_budget_s: float = 0.0
+    task_timeout_s: float = 0.0
+    shard_retries: int = 2
+    serial_fallback: bool = True
     top_k: int = 5
     case_insensitive: bool = False
     extra: dict = field(default_factory=dict, compare=False)
@@ -128,6 +155,18 @@ class DiscoveryConfig:
             raise ValueError(f"sample_size must be >= 0, got {self.sample_size}")
         if self.num_workers < 0:
             raise ValueError(f"num_workers must be >= 0, got {self.num_workers}")
+        if self.time_budget_s < 0:
+            raise ValueError(
+                f"time_budget_s must be >= 0, got {self.time_budget_s}"
+            )
+        if self.task_timeout_s < 0:
+            raise ValueError(
+                f"task_timeout_s must be >= 0, got {self.task_timeout_s}"
+            )
+        if self.shard_retries < 0:
+            raise ValueError(
+                f"shard_retries must be >= 0, got {self.shard_retries}"
+            )
         if self.top_k < 1:
             raise ValueError(f"top_k must be >= 1, got {self.top_k}")
         unknown = [name for name in self.enabled_units if name not in UNIT_NAMES]

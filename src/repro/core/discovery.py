@@ -19,6 +19,7 @@ from __future__ import annotations
 import random
 from collections.abc import Sequence
 from dataclasses import dataclass, field
+from time import monotonic
 
 from repro.core.config import DiscoveryConfig
 from repro.core.cover import (
@@ -167,10 +168,18 @@ class TransformationDiscovery:
 
         timer = StageTimer()
         stats = DiscoveryStats(num_pairs=len(pairs))
+        # One monotonic deadline bounds the whole run; CLOCK_MONOTONIC is
+        # system-wide, so the coverage stage can hand the same timestamp to
+        # sharded worker processes.
+        deadline = (
+            monotonic() + self._config.time_budget_s
+            if self._config.time_budget_s > 0
+            else None
+        )
 
         generation_pairs = self._sample(pairs)
 
-        transformations = self._generate(generation_pairs, stats, timer)
+        transformations = self._generate(generation_pairs, stats, timer, deadline)
 
         computer = CoverageComputer(
             pairs,
@@ -178,6 +187,9 @@ class TransformationDiscovery:
             stats=stats,
             num_workers=self._config.num_workers,
             min_rows_per_worker=self._config.min_rows_per_worker,
+            task_timeout=self._config.task_timeout_s or None,
+            shard_retries=self._config.shard_retries,
+            serial_fallback=self._config.serial_fallback,
         )
         with timer.stage("applying_transformations"):
             results = computer.coverage_of_all(
@@ -186,7 +198,12 @@ class TransformationDiscovery:
                     self._config.use_batched_coverage
                     and self._config.use_unit_cache
                 ),
+                deadline=deadline,
             )
+        if computer.budget_exhausted and not stats.budget_exhausted:
+            stats.budget_exhausted = True
+            stats.budget_stage = "applying_transformations"
+            stats.rows_fully_processed = computer.rows_processed
 
         with timer.stage("cover_selection"):
             results = [r for r in results if r.coverage > 0]
@@ -220,14 +237,33 @@ class TransformationDiscovery:
         pairs: Sequence[RowPair],
         stats: DiscoveryStats,
         timer: StageTimer,
+        deadline: float | None = None,
     ) -> list[Transformation]:
-        """Generate the candidate transformations of every pair, deduplicated."""
+        """Generate the candidate transformations of every pair, deduplicated.
+
+        ``deadline`` (a ``time.monotonic()`` timestamp) is the run's
+        cooperative time budget: it is checked between pairs, and pairs past
+        it are skipped — their transformations simply go ungenerated, which
+        degrades coverage but never validity (every generated transformation
+        is still exact).  The first pair always runs, so even an expired
+        budget yields candidates.  The cut is recorded in *stats*
+        (``budget_exhausted`` / ``budget_stage`` / ``rows_fully_processed``).
+        """
         unique: dict[Transformation, None] = {}
         generated = 0
         dedup = self._config.use_duplicate_removal
         duplicates_kept: list[Transformation] = []
 
-        for pair in pairs:
+        for pair_index, pair in enumerate(pairs):
+            if (
+                deadline is not None
+                and pair_index
+                and monotonic() >= deadline
+            ):
+                stats.budget_exhausted = True
+                stats.budget_stage = "skeleton_generation"
+                stats.rows_fully_processed = pair_index
+                break
             with timer.stage("placeholder_generation"):
                 skeletons = self._skeleton_builder.build(pair.source, pair.target)
             stats.num_skeletons += len(skeletons)

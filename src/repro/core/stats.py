@@ -43,6 +43,18 @@ class DiscoveryStats:
         Wall-clock seconds per pipeline stage (placeholder generation, unit
         extraction, duplicate removal, applying transformations, cover
         selection), for the Figure 4 breakdown.
+    budget_exhausted:
+        True when a ``time_budget_s``-capped run hit its deadline and
+        degraded to a best-so-far result.  Part of the run's provenance —
+        a serialized :class:`~repro.model.artifact.TransformationModel`
+        carries it in its stats, so a degraded model is distinguishable
+        from a fully converged one forever after.
+    budget_stage:
+        Which stage the budget ran out in (``"skeleton_generation"`` or
+        ``"applying_transformations"``); ``None`` when it did not.
+    rows_fully_processed:
+        How many input rows the budget-hit stage finished before the cut;
+        ``None`` when the budget was not exhausted.
     """
 
     num_pairs: int = 0
@@ -53,6 +65,9 @@ class DiscoveryStats:
     cache_misses: int = 0
     applications: int = 0
     stage_seconds: dict[str, float] = field(default_factory=dict)
+    budget_exhausted: bool = False
+    budget_stage: str | None = None
+    rows_fully_processed: int | None = None
 
     # ------------------------------------------------------------------ #
     # Derived ratios reported in Table 4 / Figure 3
@@ -100,11 +115,23 @@ class DiscoveryStats:
             cache_misses=self.cache_misses + other.cache_misses,
             applications=self.applications + other.applications,
             stage_seconds=merged_stages,
+            budget_exhausted=self.budget_exhausted or other.budget_exhausted,
+            budget_stage=self.budget_stage or other.budget_stage,
+            rows_fully_processed=(
+                self.rows_fully_processed
+                if self.rows_fully_processed is not None
+                else other.rows_fully_processed
+            ),
         )
 
     def as_dict(self) -> dict[str, float]:
-        """Flatten the statistics to a plain dict (for reports and tests)."""
-        return {
+        """Flatten the statistics to a plain dict (for reports and tests).
+
+        ``budget_exhausted`` is always present (it is provenance: consumers
+        of a serialized model must be able to rely on the key); the
+        stage/row detail keys appear only when the budget actually ran out.
+        """
+        flat = {
             "num_pairs": self.num_pairs,
             "num_skeletons": self.num_skeletons,
             "generated_transformations": self.generated_transformations,
@@ -116,5 +143,10 @@ class DiscoveryStats:
             "cache_hit_ratio": self.cache_hit_ratio,
             "applications": self.applications,
             "total_seconds": self.total_seconds,
+            "budget_exhausted": self.budget_exhausted,
             **{f"seconds_{k}": v for k, v in self.stage_seconds.items()},
         }
+        if self.budget_exhausted:
+            flat["budget_stage"] = self.budget_stage
+            flat["rows_fully_processed"] = self.rows_fully_processed
+        return flat

@@ -66,6 +66,9 @@ class TransformationJoiner:
         num_workers: int | None = None,
         min_rows_per_worker: int | None = None,
         use_batched_apply: bool = True,
+        task_timeout_s: float = 0.0,
+        shard_retries: int = 2,
+        serial_fallback: bool = True,
     ) -> None:
         """Create a joiner.
 
@@ -111,6 +114,13 @@ class TransformationJoiner:
             When True (default) the transformations are compiled into the
             packed unit-prefix trie and applied in batch; disable to run the
             reference one-at-a-time loop (the ablation/equivalence path).
+        task_timeout_s / shard_retries / serial_fallback:
+            Fault tolerance of the sharded apply stage: wall-clock bound per
+            sharded map (0 = unbounded), pool retries per failed shard, and
+            whether unproducible shards are recomputed serially inline
+            (True, the default) instead of raising a typed
+            :class:`~repro.parallel.errors.ShardError`; see
+            :class:`~repro.parallel.executor.ShardedExecutor`.
         """
         if min_support < 0.0 or min_support > 1.0:
             raise ValueError(f"min_support must be in [0, 1], got {min_support}")
@@ -159,6 +169,15 @@ class TransformationJoiner:
             )
         self._min_rows_per_worker = min_rows_per_worker
         self._use_batched_apply = use_batched_apply
+        if task_timeout_s < 0:
+            raise ValueError(
+                f"task_timeout_s must be >= 0, got {task_timeout_s}"
+            )
+        if shard_retries < 0:
+            raise ValueError(f"shard_retries must be >= 0, got {shard_retries}")
+        self._task_timeout_s = task_timeout_s
+        self._shard_retries = shard_retries
+        self._serial_fallback = serial_fallback
         self._applier: TransformationApplier | None = None
 
     @staticmethod
@@ -247,6 +266,9 @@ class TransformationJoiner:
             source_values,
             num_workers=self._num_workers,
             min_rows_per_worker=self._min_rows_per_worker,
+            task_timeout=self._task_timeout_s or None,
+            shard_retries=self._shard_retries,
+            serial_fallback=self._serial_fallback,
         )
 
         result = JoinResult()

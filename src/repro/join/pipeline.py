@@ -102,6 +102,9 @@ class JoinPipeline:
         min_support: float = 0.05,
         materialize: bool = False,
         num_workers: int | None = None,
+        task_timeout_s: float = 0.0,
+        shard_retries: int = 2,
+        serial_fallback: bool = True,
     ) -> None:
         """Create a pipeline.
 
@@ -126,12 +129,27 @@ class JoinPipeline:
             (``MatchingConfig.num_workers`` / ``DiscoveryConfig.num_workers``);
             all three resolve through
             :func:`~repro.parallel.executor.tuned_num_workers`.
+        task_timeout_s / shard_retries / serial_fallback:
+            Fault tolerance of the sharded apply stage (wall-clock bound per
+            sharded map with 0 = unbounded, pool retries per failed shard,
+            serial inline recomputation of unproducible shards); see
+            :class:`~repro.parallel.executor.ShardedExecutor`.  Matching and
+            discovery carry the equivalent knobs on their own configs.
         """
         self._matcher = matcher or NGramRowMatcher()
         self._discovery = TransformationDiscovery(discovery_config)
         self._min_support = min_support
         self._materialize = materialize
         self._num_workers = num_workers
+        if task_timeout_s < 0:
+            raise ValueError(
+                f"task_timeout_s must be >= 0, got {task_timeout_s}"
+            )
+        if shard_retries < 0:
+            raise ValueError(f"shard_retries must be >= 0, got {shard_retries}")
+        self._task_timeout_s = task_timeout_s
+        self._shard_retries = shard_retries
+        self._serial_fallback = serial_fallback
 
     @property
     def discovery_engine(self) -> TransformationDiscovery:
@@ -192,6 +210,9 @@ class JoinPipeline:
         """
         joiner = model.joiner(
             num_workers=self._num_workers,
+            task_timeout_s=self._task_timeout_s,
+            shard_retries=self._shard_retries,
+            serial_fallback=self._serial_fallback,
         )
         join_result = joiner.join(
             source,

@@ -57,6 +57,13 @@ class MatchingConfig:
     cost.  ``None`` reads ``REPRO_MIN_ROWS_PER_WORKER`` (default
     :data:`~repro.parallel.executor.DEFAULT_MIN_ITEMS_PER_WORKER`); 0
     disables the tuning.
+
+    ``task_timeout_s`` / ``shard_retries`` / ``serial_fallback`` configure
+    the sharded path's fault tolerance (submission-time deadline per map,
+    pool retries per failed shard, and the serial inline fallback that keeps
+    a flaky pool's results byte-identical); see
+    :class:`~repro.parallel.executor.ShardedExecutor`.  ``task_timeout_s``
+    0 means unbounded.
     """
 
     min_ngram: int = 4
@@ -66,6 +73,9 @@ class MatchingConfig:
     stop_gram_cap: int = 0  # 0 = no stop-gram pruning (exact Algorithm 1)
     num_workers: int = field(default_factory=env_default_workers)
     min_rows_per_worker: int | None = None
+    task_timeout_s: float = 0.0
+    shard_retries: int = 2
+    serial_fallback: bool = True
 
     def __post_init__(self) -> None:
         if self.min_ngram <= 0:
@@ -86,6 +96,14 @@ class MatchingConfig:
         if self.num_workers < 0:
             raise ValueError(
                 f"num_workers must be >= 0, got {self.num_workers}"
+            )
+        if self.task_timeout_s < 0:
+            raise ValueError(
+                f"task_timeout_s must be >= 0, got {self.task_timeout_s}"
+            )
+        if self.shard_retries < 0:
+            raise ValueError(
+                f"shard_retries must be >= 0, got {self.shard_retries}"
             )
 
 
@@ -234,6 +252,9 @@ class NGramRowMatcher(RowMatcher):
                 target_values,
                 max_candidates_per_row=config.max_candidates_per_row,
                 num_workers=num_workers,
+                task_timeout=config.task_timeout_s or None,
+                max_shard_retries=config.shard_retries,
+                serial_fallback=config.serial_fallback,
             )
         representatives = target_index.representatives(source_values)
         return emit_candidate_pairs(

@@ -207,6 +207,9 @@ class TransformationApplier:
         *,
         num_workers: int = 1,
         min_rows_per_worker: int | None = None,
+        task_timeout: float | None = None,
+        shard_retries: int = 2,
+        serial_fallback: bool = True,
     ) -> dict[int, list[tuple[int, str]]]:
         """Outputs of every transformation over *values*.
 
@@ -216,6 +219,9 @@ class TransformationApplier:
         (0 = all cores); the resolution goes through
         :func:`~repro.parallel.executor.tuned_num_workers`, so small inputs
         take the serial path regardless — results are identical either way.
+        ``task_timeout``/``shard_retries``/``serial_fallback`` configure the
+        sharded path's fault tolerance (see
+        :class:`~repro.parallel.executor.ShardedExecutor`).
         """
         if self._trie is None or not values:
             return {}
@@ -227,7 +233,14 @@ class TransformationApplier:
         if workers > 1:
             from repro.parallel.transform import sharded_transform
 
-            return sharded_transform(values, self._trie, num_workers=workers)
+            return sharded_transform(
+                values,
+                self._trie,
+                num_workers=workers,
+                task_timeout=task_timeout,
+                max_shard_retries=shard_retries,
+                serial_fallback=serial_fallback,
+            )
         return transform_trie_rows(values, 0, self._trie)
 
     def apply_all(

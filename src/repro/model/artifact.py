@@ -183,6 +183,9 @@ class TransformationModel:
         *,
         num_workers: int | None = None,
         min_rows_per_worker: int | None = None,
+        task_timeout_s: float = 0.0,
+        shard_retries: int = 2,
+        serial_fallback: bool = True,
     ) -> "TransformationJoiner":
         """A :class:`~repro.join.joiner.TransformationJoiner` for this model.
 
@@ -190,17 +193,26 @@ class TransformationModel:
         against the stored discovery-time coverage counts — exactly the
         filtering the one-shot pipeline would have applied — and honours the
         ``case_insensitive`` flag of the discovery config.
+        ``task_timeout_s``/``shard_retries``/``serial_fallback`` configure
+        the sharded apply stage's fault tolerance (see
+        :class:`~repro.join.joiner.TransformationJoiner`).
 
-        Joiners are memoized per ``(num_workers, min_rows_per_worker)``:
-        repeated calls (every :meth:`~repro.join.pipeline.JoinPipeline.apply`
-        goes through here) reuse the same joiner and therefore the same
-        compiled trie.  The model is treated as an immutable artifact —
-        mutating ``transformations`` in place after the first call would
-        leave a stale cache.
+        Joiners are memoized per parameter tuple: repeated calls (every
+        :meth:`~repro.join.pipeline.JoinPipeline.apply` goes through here)
+        reuse the same joiner and therefore the same compiled trie.  The
+        model is treated as an immutable artifact — mutating
+        ``transformations`` in place after the first call would leave a
+        stale cache.
         """
         from repro.join.joiner import TransformationJoiner
 
-        key = (num_workers, min_rows_per_worker)
+        key = (
+            num_workers,
+            min_rows_per_worker,
+            task_timeout_s,
+            shard_retries,
+            serial_fallback,
+        )
         joiner = self._joiners.get(key)
         if joiner is None:
             joiner = self._joiners[key] = TransformationJoiner(
@@ -211,6 +223,9 @@ class TransformationModel:
                 case_insensitive=self.case_insensitive,
                 num_workers=num_workers,
                 min_rows_per_worker=min_rows_per_worker,
+                task_timeout_s=task_timeout_s,
+                shard_retries=shard_retries,
+                serial_fallback=serial_fallback,
             )
         return joiner
 

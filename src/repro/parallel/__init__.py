@@ -25,8 +25,16 @@ The knobs are ``DiscoveryConfig.num_workers``,
 ``--num-workers`` and on the perf harness as ``--workers``.  Every one of
 them resolves through :func:`~repro.parallel.executor.tuned_num_workers`,
 so "all cores" consistently honours the small-input fast path.
+
+Failures inside the sharded paths surface as the typed taxonomy of
+:mod:`repro.parallel.errors` (:class:`ShardError`,
+:class:`WorkerCrashError`, :class:`ShardTimeoutError`); by default the
+executor recovers from them transparently — bounded in-pool retries, then
+a serial inline fallback that recomputes only the failed shards — so the
+merged result stays byte-identical even on a flaky pool.
 """
 
+from repro.parallel.errors import ShardError, ShardTimeoutError, WorkerCrashError
 from repro.parallel.executor import (
     ShardedExecutor,
     default_start_method,
@@ -39,7 +47,10 @@ from repro.parallel.executor import (
 )
 
 __all__ = [
+    "ShardError",
+    "ShardTimeoutError",
     "ShardedExecutor",
+    "WorkerCrashError",
     "default_start_method",
     "env_default_workers",
     "map_sharded",

@@ -29,36 +29,49 @@ from collections.abc import Sequence
 from repro.core.coverage import PackedTrie, _build_unit_trie, _walk_trie_rows
 from repro.core.pairs import RowPair
 from repro.core.transformation import Transformation
-from repro.parallel.executor import ShardedExecutor, worker_state
+from repro.parallel.executor import (
+    DEFAULT_MAX_SHARD_RETRIES,
+    ShardedExecutor,
+    worker_state,
+)
 
 
 class CoverageShardState:
-    """Read-only state shared with coverage workers: pairs + frozen trie."""
+    """Read-only state shared with coverage workers: pairs + frozen trie.
 
-    __slots__ = ("pairs", "trie", "use_unit_cache")
+    ``deadline`` (a ``time.monotonic()`` timestamp or ``None``) rides along
+    so every worker can cut its walk cooperatively at block boundaries —
+    ``CLOCK_MONOTONIC`` is system-wide, so a deadline computed in the parent
+    is directly comparable in the children, under fork and spawn alike.
+    """
+
+    __slots__ = ("pairs", "trie", "use_unit_cache", "deadline")
 
     def __init__(
         self,
         pairs: list[RowPair],
         trie: PackedTrie,
         use_unit_cache: bool,
+        deadline: float | None = None,
     ) -> None:
         self.pairs = pairs
         self.trie = trie
         self.use_unit_cache = use_unit_cache
+        self.deadline = deadline
 
     def __getstate__(self):
-        return (self.pairs, self.trie, self.use_unit_cache)
+        return (self.pairs, self.trie, self.use_unit_cache, self.deadline)
 
     def __setstate__(self, state) -> None:
-        self.pairs, self.trie, self.use_unit_cache = state
+        self.pairs, self.trie, self.use_unit_cache, self.deadline = state
 
 
 def _coverage_worker(start: int, stop: int):
     """Walk the shared trie over the rows ``[start, stop)``.
 
-    Returns ``(covered, hits, misses, applications)`` with *global* row ids —
-    the same tuple shape as the serial kernel, restricted to the shard.
+    Returns ``(covered, hits, misses, applications, rows_processed)`` with
+    *global* row ids — the same tuple shape as the serial kernel, restricted
+    to the shard (``rows_processed`` counts this shard's fully walked rows).
     """
     state: CoverageShardState = worker_state()
     shard = state.pairs[start:stop]
@@ -69,6 +82,7 @@ def _coverage_worker(start: int, stop: int):
         state.trie,
         non_covering_units,
         state.use_unit_cache,
+        state.deadline,
     )
 
 
@@ -80,30 +94,46 @@ def sharded_coverage(
     num_workers: int,
     start_method: str | None = None,
     task_timeout: float | None = None,
-) -> tuple[list[list[int]], int, int, int]:
+    max_shard_retries: int = DEFAULT_MAX_SHARD_RETRIES,
+    serial_fallback: bool = True,
+    deadline: float | None = None,
+) -> tuple[list[list[int]], int, int, int, int]:
     """Batched coverage of *transformations* over *pairs*, sharded by row.
 
-    Returns ``(covered, hits, misses, applications)`` where ``covered[i]``
-    lists the rows covered by ``transformations[i]`` in ascending order —
-    byte-identical (rows and statistics) to the serial batched engine.
+    Returns ``(covered, hits, misses, applications, rows_processed)`` where
+    ``covered[i]`` lists the rows covered by ``transformations[i]`` in
+    ascending order — byte-identical (rows and statistics) to the serial
+    batched engine.  ``task_timeout``/``max_shard_retries``/
+    ``serial_fallback`` configure the executor's recovery behaviour;
+    ``deadline`` is the cooperative time-budget cut of the walk itself
+    (workers stop at block boundaries once it passes, and
+    ``rows_processed`` — the sum over shards — reports how many rows were
+    fully walked).
     """
     trie = _build_unit_trie(list(transformations))
-    state = CoverageShardState(list(pairs), trie, use_unit_cache)
+    state = CoverageShardState(list(pairs), trie, use_unit_cache, deadline)
     covered: list[list[int]] = [[] for _ in transformations]
-    hits = misses = applications = 0
+    hits = misses = applications = rows_processed = 0
     executor = ShardedExecutor(
         state,
         num_workers=num_workers,
         start_method=start_method,
         task_timeout=task_timeout,
+        max_shard_retries=max_shard_retries,
+        serial_fallback=serial_fallback,
     )
     with executor:
-        for shard_covered, shard_hits, shard_misses, shard_applications in (
-            executor.map_shards(_coverage_worker, len(state.pairs))
-        ):
+        for (
+            shard_covered,
+            shard_hits,
+            shard_misses,
+            shard_applications,
+            shard_rows,
+        ) in executor.map_shards(_coverage_worker, len(state.pairs)):
             hits += shard_hits
             misses += shard_misses
             applications += shard_applications
+            rows_processed += shard_rows
             for index, rows in shard_covered.items():
                 covered[index].extend(rows)
-    return covered, hits, misses, applications
+    return covered, hits, misses, applications, rows_processed

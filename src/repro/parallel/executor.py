@@ -25,15 +25,43 @@ merge deterministic.
 The executor is deliberately run-scoped: ``with ShardedExecutor(state, ...)``
 forks the pool, runs the shards, and tears the pool down.  Workers never
 outlive the run, so mutable caches built inside a worker can never leak into
-a later computation.
+a later computation.  An executor is also single-use: once exited it is
+closed, and both re-entering and mapping raise instead of silently running
+inline.
+
+**Fault tolerance.**  ``map_shards`` no longer assumes a healthy pool.  A
+shard that fails — its worker function raised, its worker process died
+(detected by checking each shard's announced worker pid against the pool's
+live workers while the result is pending), or the submission-time deadline
+expired — is retried in the pool
+up to ``max_shard_retries`` times with exponential backoff, and when the
+pool cannot produce it the shard is re-run *serially inline* in the parent
+process against the same shared state.  Because every sharded engine is
+deterministic per row range, the inline re-run yields exactly the bytes the
+pool would have, so a flaky pool still produces the byte-identical merged
+result.  When the fallback is disabled (``serial_fallback=False``) the
+failure surfaces as the typed taxonomy of :mod:`repro.parallel.errors`
+(:class:`ShardError` / :class:`WorkerCrashError` /
+:class:`ShardTimeoutError`) instead of a bare pool exception.
+``task_timeout`` is a *deadline for the whole map*: it is converted to a
+monotonic deadline once at submission, and every wait consumes the
+remaining time.
+
+Shard dispatch runs through :func:`_run_shard`, which consults the
+deterministic fault-injection hook of :mod:`repro.testing.faults` when
+``REPRO_FAULT_INJECT`` is set — the chaos tests use it to kill, hang, or
+raise inside real workers and assert the recovery paths above end-to-end.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from collections.abc import Callable, Sequence
 from typing import Any
+
+from repro.parallel.errors import ShardError, ShardTimeoutError, WorkerCrashError
 
 #: Distinct "not installed" marker, so that None remains a valid shared state.
 _STATE_NOT_INSTALLED: Any = object()
@@ -41,11 +69,56 @@ _STATE_NOT_INSTALLED: Any = object()
 #: Read-only state installed into each worker process by the pool initializer.
 _WORKER_STATE: Any = _STATE_NOT_INSTALLED
 
+#: True only in pool worker processes (set by the pool initializer, which
+#: runs in the children).  The parent's inline paths leave it False — the
+#: fault-injection hook uses the distinction to target pool workers only,
+#: so the serial fallback provably recovers.
+_IN_POOL_WORKER = False
+
+#: In pool workers: the queue on which :func:`_run_shard` announces
+#: ``(shard_index, pid)`` before executing a shard.  The parent uses these
+#: start events to attribute a dead worker's pid to exactly the shard it
+#: held — the one task a ``multiprocessing.Pool`` silently loses on a worker
+#: death.  ``None`` in the parent and in inline runs.
+_START_EVENTS: Any = None
+
+#: Environment variable of :mod:`repro.testing.faults`, duplicated here so
+#: the zero-cost guard in :func:`_run_shard` needs no import when unset.
+_FAULT_ENV = "REPRO_FAULT_INJECT"
+
 
 def _install_worker_state(state: Any) -> None:
-    """Pool initializer: stash the shared read-only state in the worker."""
+    """Stash the shared read-only state (worker process or inline run)."""
     global _WORKER_STATE
     _WORKER_STATE = state
+
+
+def _pool_initializer(state: Any, start_events: Any) -> None:
+    """Pool initializer: install the state and mark this process a worker."""
+    global _IN_POOL_WORKER, _START_EVENTS
+    _IN_POOL_WORKER = True
+    _START_EVENTS = start_events
+    _install_worker_state(state)
+
+
+def _run_shard(worker: Callable[[int, int], Any], shard_index: int, start: int, stop: int) -> Any:
+    """Dispatch one shard to *worker*, consulting the fault-injection hook.
+
+    This is the single entry point every shard execution goes through — pool
+    tasks, inline single-worker runs, and serial fallback re-runs alike — so
+    an injected fault fires at exactly the same point a real failure would.
+    In a pool worker the shard is announced on the start-event queue first:
+    a crash after this point (injected or real) leaves the parent a record
+    of which shard died with the worker.  The fault hook costs one
+    environment lookup when unset.
+    """
+    if _START_EVENTS is not None:
+        _START_EVENTS.put((shard_index, os.getpid()))
+    if os.environ.get(_FAULT_ENV):
+        from repro.testing.faults import maybe_inject
+
+        maybe_inject(shard_index, in_pool_worker=_IN_POOL_WORKER)
+    return worker(start, stop)
 
 
 def worker_state() -> Any:
@@ -208,8 +281,20 @@ def shard_plan(num_items: int, num_workers: int) -> list[tuple[int, int]]:
     return shards
 
 
+#: Default number of *additional* pool attempts for a failed shard.
+DEFAULT_MAX_SHARD_RETRIES = 2
+
+#: Default base of the exponential retry backoff, in seconds.
+DEFAULT_RETRY_BACKOFF_S = 0.05
+
+#: How often the parent wakes to check the deadline and worker health while a
+#: shard result is pending.  Coarse on purpose: one wake per interval per
+#: *pending* shard is the entire polling cost of crash detection.
+_POLL_INTERVAL_S = 0.05
+
+
 class ShardedExecutor:
-    """A run-scoped process pool sharing read-only state with its workers.
+    """A run-scoped, fault-tolerant process pool sharing read-only state.
 
     Parameters
     ----------
@@ -226,9 +311,25 @@ class ShardedExecutor:
         Multiprocessing start method; defaults to
         :func:`default_start_method`.
     task_timeout:
-        Optional per-shard timeout in seconds; a worker exceeding it raises
-        ``multiprocessing.TimeoutError`` in the parent instead of hanging the
-        run forever (CI additionally applies a job-level timeout).
+        Optional wall-clock budget in seconds for one whole ``map_shards``
+        call.  Converted to a monotonic deadline at submission; every wait
+        consumes the remaining time, and expiry surfaces as
+        :class:`~repro.parallel.errors.ShardTimeoutError` (or, with the
+        serial fallback enabled, triggers an inline re-run of the shards the
+        pool did not deliver in time).
+    max_shard_retries:
+        How many *additional* pool attempts a failed shard gets before the
+        executor falls back (or raises).  Retries back off exponentially
+        from ``retry_backoff_s``.  Timeouts are never retried — the deadline
+        that expired for attempt one has expired for attempt two as well.
+    retry_backoff_s:
+        Base sleep before pool retry *n* (``retry_backoff_s * 2**(n-1)``),
+        clamped to the remaining deadline.
+    serial_fallback:
+        When True (the default), a shard the pool cannot produce — retries
+        exhausted, worker crashed, or deadline expired — is recomputed
+        serially inline in the parent process, preserving the byte-identical
+        merged result.  When False the typed error is raised instead.
     """
 
     def __init__(
@@ -238,15 +339,39 @@ class ShardedExecutor:
         num_workers: int,
         start_method: str | None = None,
         task_timeout: float | None = None,
+        max_shard_retries: int = DEFAULT_MAX_SHARD_RETRIES,
+        retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
+        serial_fallback: bool = True,
     ) -> None:
         if num_workers < 1:
             raise ValueError(f"num_workers must be >= 1, got {num_workers}")
+        if task_timeout is not None and task_timeout <= 0:
+            raise ValueError(f"task_timeout must be > 0, got {task_timeout}")
+        if max_shard_retries < 0:
+            raise ValueError(
+                f"max_shard_retries must be >= 0, got {max_shard_retries}"
+            )
+        if retry_backoff_s < 0:
+            raise ValueError(
+                f"retry_backoff_s must be >= 0, got {retry_backoff_s}"
+            )
         self._state = state
         self._num_workers = num_workers
         self._start_method = start_method or default_start_method()
         self._task_timeout = task_timeout
+        self._max_shard_retries = max_shard_retries
+        self._retry_backoff_s = retry_backoff_s
+        self._serial_fallback = serial_fallback
         self._pool: multiprocessing.pool.Pool | None = None
         self._entered = False
+        self._closed = False
+        self._degraded = False
+        # Crash-attribution bookkeeping (pool path only): which worker pid
+        # last started each shard, and which shards are known lost because
+        # their worker vanished mid-task.
+        self._start_events: Any = None
+        self._started: dict[int, int] = {}
+        self._lost_shards: set[int] = set()
 
     @property
     def num_workers(self) -> int:
@@ -258,7 +383,19 @@ class ShardedExecutor:
         """The start method the pool is created with."""
         return self._start_method
 
+    @property
+    def degraded(self) -> bool:
+        """Whether any shard needed a retry or the serial fallback."""
+        return self._degraded
+
     def __enter__(self) -> "ShardedExecutor":
+        if self._closed:
+            raise RuntimeError(
+                "ShardedExecutor is single-use: this executor was already "
+                "exited; construct a new one"
+            )
+        if self._entered:
+            raise RuntimeError("ShardedExecutor is already entered")
         if self._num_workers == 1:
             # Small-input fast path: one worker needs no pool at all — the
             # shards run inline in this process, against the same shared
@@ -266,27 +403,35 @@ class ShardedExecutor:
             self._entered = True
             return self
         context = multiprocessing.get_context(self._start_method)
+        self._start_events = context.SimpleQueue()
         self._pool = context.Pool(
             processes=self._num_workers,
-            initializer=_install_worker_state,
-            initargs=(self._state,),
+            initializer=_pool_initializer,
+            initargs=(self._state, self._start_events),
         )
         self._entered = True
         return self
 
     def __exit__(self, exc_type, exc_value, traceback) -> None:
         self._entered = False
+        self._closed = True
         pool = self._pool
         self._pool = None
+        events = self._start_events
+        self._start_events = None
         if pool is None:
             return
-        if exc_type is None:
+        if exc_type is None and not self._degraded:
             pool.close()
         else:
             # A failed run must not leave workers grinding through the
-            # remaining shards.
+            # remaining shards — and after a degraded run a worker may still
+            # be hung on an abandoned task, which close()+join() would wait
+            # on forever.
             pool.terminate()
         pool.join()
+        if events is not None:
+            events.close()
 
     def map_shards(self, worker: Callable[[int, int], Any], num_items: int) -> list[Any]:
         """Run ``worker(start, stop)`` over every shard of ``range(num_items)``.
@@ -297,20 +442,227 @@ class ShardedExecutor:
         can merge deterministically.  With one worker the shards run inline
         (no pool was spawned); the shared state is installed for the
         duration so worker functions behave identically.
+
+        ``task_timeout`` bounds this whole call via a single submission-time
+        deadline.  Failed shards are retried and, with ``serial_fallback``
+        enabled, recomputed inline — see the class docstring for the full
+        recovery contract.
         """
+        if self._closed:
+            raise RuntimeError(
+                "ShardedExecutor is single-use: this executor was already "
+                "exited; construct a new one"
+            )
         if not getattr(self, "_entered", False):
             raise RuntimeError("ShardedExecutor must be entered before use")
         shards = shard_plan(num_items, self._num_workers)
+        deadline = (
+            time.monotonic() + self._task_timeout
+            if self._task_timeout is not None
+            else None
+        )
         if self._pool is None:
-            global _WORKER_STATE
-            previous = _WORKER_STATE
-            _install_worker_state(self._state)
+            return [
+                self._run_inline(worker, index, shard)
+                for index, shard in enumerate(shards)
+            ]
+        pending = [
+            self._pool.apply_async(_run_shard, (worker, index, start, stop))
+            for index, (start, stop) in enumerate(shards)
+        ]
+        return [
+            self._collect_shard(worker, index, shard, result, deadline)
+            for index, (shard, result) in enumerate(zip(shards, pending))
+        ]
+
+    # ------------------------------------------------------------------
+    # Recovery machinery
+    # ------------------------------------------------------------------
+
+    def _worker_pids(self) -> tuple[int, ...]:
+        """A stable snapshot of the pool's current worker pids.
+
+        Reads the pool's private ``_pool`` process list — there is no public
+        API for worker identity, and pid churn is the only signal a
+        ``multiprocessing.Pool`` gives for a worker death: a killed worker is
+        silently replaced by ``Pool._maintain_pool`` while its in-flight task
+        is lost forever.  The getattr guard keeps this degrading to "no crash
+        detection" rather than an AttributeError if the internals shift.
+        """
+        pool = self._pool
+        processes = getattr(pool, "_pool", None) if pool is not None else None
+        if not processes:
+            return ()
+        return tuple(sorted(p.pid for p in processes if p.pid is not None))
+
+    def _note_worker_deaths(self) -> None:
+        """Fold fresh start events into the lost-shard set.
+
+        Drains the start-event queue (``shard index -> last starting pid``),
+        then checks every announced pid against the pool's *live* workers.
+        An announced pid that is no longer alive means its shard died with
+        its worker — the lost-task condition a ``multiprocessing.Pool``
+        never reports (``_maintain_pool`` quietly replaces the dead worker
+        and the task simply never completes).  The check deliberately avoids
+        diffing live-pid snapshots: workers that crash and are replaced
+        *between* two polls would appear in neither snapshot and their
+        shards would hang undetected.  A dead pid can also mark shards the
+        worker already finished; the ``result.ready()`` guard at the
+        consumer keeps those from being treated as lost.  Attribution is
+        per-shard, so a crash on one shard cannot be charged to a different
+        shard that is merely slow.
+        """
+        events = self._start_events
+        if events is not None:
+            while not events.empty():
+                shard_index, pid = events.get()
+                self._started[shard_index] = pid
+        alive = set(self._worker_pids())
+        if not alive:
+            # Either the pool internals became unreadable (degrade to "no
+            # crash detection") or every worker is momentarily dead awaiting
+            # replacement — the next poll tick sees the replacements.
+            return
+        for shard_index, pid in self._started.items():
+            if pid not in alive:
+                self._lost_shards.add(shard_index)
+
+    def _await_result(
+        self,
+        result: multiprocessing.pool.AsyncResult,
+        index: int,
+        shard: tuple[int, int],
+        attempts: int,
+        deadline: float | None,
+    ) -> Any:
+        """Wait for one pool result, policing the deadline and worker health.
+
+        Wakes every ``_POLL_INTERVAL_S`` to (a) fail fast with
+        :class:`ShardTimeoutError` once the submission-time deadline passes
+        and (b) update the death bookkeeping — a shard attributed to a dead
+        worker and still unready raises :class:`WorkerCrashError` instead of
+        waiting forever on a task the pool has silently lost.
+        """
+        while True:
+            wait = _POLL_INTERVAL_S
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ShardTimeoutError(
+                        f"shard {shard[0]}:{shard[1]} missed the "
+                        f"{self._task_timeout}s map deadline",
+                        shard=shard,
+                        attempts=attempts,
+                    )
+                wait = min(wait, remaining)
             try:
-                return [worker(start, stop) for start, stop in shards]
-            finally:
-                _WORKER_STATE = previous
-        pending = [self._pool.apply_async(worker, shard) for shard in shards]
-        return [result.get(self._task_timeout) for result in pending]
+                return result.get(wait)
+            except multiprocessing.TimeoutError:
+                self._note_worker_deaths()
+                if index in self._lost_shards and not result.ready():
+                    # Consume the flag: the retry will re-announce itself.
+                    self._lost_shards.discard(index)
+                    raise WorkerCrashError(
+                        f"a pool worker died holding shard "
+                        f"{shard[0]}:{shard[1]}",
+                        shard=shard,
+                        attempts=attempts,
+                    ) from None
+                self._lost_shards.discard(index)
+
+    def _collect_shard(
+        self,
+        worker: Callable[[int, int], Any],
+        index: int,
+        shard: tuple[int, int],
+        result: multiprocessing.pool.AsyncResult,
+        deadline: float | None,
+    ) -> Any:
+        """Produce one shard's result, whatever it takes.
+
+        Attempt order: the original submission, then up to
+        ``max_shard_retries`` fresh pool submissions with exponential
+        backoff (crashes and worker exceptions only — an expired deadline is
+        not retried), then the serial inline fallback.  With the fallback
+        disabled, the last typed error is raised instead.
+        """
+        attempts = 0
+        error: ShardError | None = None
+        while True:
+            attempts += 1
+            try:
+                return self._await_result(result, index, shard, attempts, deadline)
+            except ShardTimeoutError as exc:
+                self._degraded = True
+                error = exc
+                break
+            except WorkerCrashError as exc:
+                self._degraded = True
+                error = exc
+            except Exception as exc:  # noqa: BLE001 — worker exception, re-raised by get()
+                self._degraded = True
+                error = ShardError(
+                    f"shard {shard[0]}:{shard[1]} worker raised "
+                    f"{type(exc).__name__}: {exc}",
+                    shard=shard,
+                    attempts=attempts,
+                    cause=exc,
+                )
+                error.__cause__ = exc
+            if attempts > self._max_shard_retries:
+                break
+            backoff = self._retry_backoff_s * (2 ** (attempts - 1))
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                backoff = min(backoff, remaining)
+            if backoff > 0:
+                time.sleep(backoff)
+            # Drop the dead attempt's attribution before resubmitting, or
+            # the stale pid would mark the retry lost before its own start
+            # event arrives.
+            self._started.pop(index, None)
+            result = self._pool.apply_async(
+                _run_shard, (worker, index, shard[0], shard[1])
+            )
+        if self._serial_fallback:
+            return self._run_inline(worker, index, shard, pool_error=error)
+        assert error is not None
+        raise error
+
+    def _run_inline(
+        self,
+        worker: Callable[[int, int], Any],
+        index: int,
+        shard: tuple[int, int],
+        pool_error: ShardError | None = None,
+    ) -> Any:
+        """Run one shard serially in this process against the shared state.
+
+        Serves both the single-worker fast path and the fallback of last
+        resort after pool recovery fails.  The previous ``_WORKER_STATE`` is
+        always restored, so nested executors and outer inline runs are
+        unaffected even when the worker raises.  An inline failure is
+        terminal and surfaces as :class:`ShardError` carrying the pool
+        attempt count and the inline exception as its cause.
+        """
+        global _WORKER_STATE
+        previous = _WORKER_STATE
+        _install_worker_state(self._state)
+        try:
+            return _run_shard(worker, index, shard[0], shard[1])
+        except Exception as exc:
+            attempts = pool_error.attempts if pool_error is not None else 0
+            raise ShardError(
+                f"shard {shard[0]}:{shard[1]} failed inline after "
+                f"{attempts} pool attempt(s): {type(exc).__name__}: {exc}",
+                shard=shard,
+                attempts=attempts,
+                cause=exc,
+            ) from exc
+        finally:
+            _WORKER_STATE = previous
 
 
 def map_sharded(
@@ -321,6 +673,9 @@ def map_sharded(
     num_workers: int,
     start_method: str | None = None,
     task_timeout: float | None = None,
+    max_shard_retries: int = DEFAULT_MAX_SHARD_RETRIES,
+    retry_backoff_s: float = DEFAULT_RETRY_BACKOFF_S,
+    serial_fallback: bool = True,
 ) -> list[Any]:
     """One-shot convenience: pool up, map the shards, tear the pool down."""
     executor = ShardedExecutor(
@@ -328,14 +683,22 @@ def map_sharded(
         num_workers=num_workers,
         start_method=start_method,
         task_timeout=task_timeout,
+        max_shard_retries=max_shard_retries,
+        retry_backoff_s=retry_backoff_s,
+        serial_fallback=serial_fallback,
     )
     with executor:
         return executor.map_shards(worker, num_items)
 
 
 __all__: Sequence[str] = (
+    "DEFAULT_MAX_SHARD_RETRIES",
     "DEFAULT_MIN_ITEMS_PER_WORKER",
+    "DEFAULT_RETRY_BACKOFF_S",
+    "ShardError",
+    "ShardTimeoutError",
     "ShardedExecutor",
+    "WorkerCrashError",
     "default_start_method",
     "env_default_workers",
     "env_min_items_per_worker",

@@ -31,7 +31,11 @@ from collections.abc import Sequence
 from repro.core.pairs import RowPair
 from repro.matching.index import InvertedIndex
 from repro.matching.row_matcher import emit_candidate_pairs
-from repro.parallel.executor import ShardedExecutor, worker_state
+from repro.parallel.executor import (
+    DEFAULT_MAX_SHARD_RETRIES,
+    ShardedExecutor,
+    worker_state,
+)
 
 
 class MatchingShardState:
@@ -108,12 +112,15 @@ def sharded_match(
     num_workers: int,
     start_method: str | None = None,
     task_timeout: float | None = None,
+    max_shard_retries: int = DEFAULT_MAX_SHARD_RETRIES,
+    serial_fallback: bool = True,
 ) -> list[RowPair]:
     """Candidate pairs for the source rows, sharded across worker processes.
 
     *target_index* must have been built over *target_values* with the
     matcher's configuration; the result is identical (pairs and order) to
-    the serial packed matcher.
+    the serial packed matcher.  ``task_timeout``/``max_shard_retries``/
+    ``serial_fallback`` configure the executor's recovery behaviour.
     """
     source_values = list(source_values)
     target_values = list(target_values)
@@ -131,6 +138,8 @@ def sharded_match(
         num_workers=num_workers,
         start_method=start_method,
         task_timeout=task_timeout,
+        max_shard_retries=max_shard_retries,
+        serial_fallback=serial_fallback,
     )
     pairs: list[RowPair] = []
     with executor:

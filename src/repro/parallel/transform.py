@@ -22,7 +22,11 @@ from collections.abc import Sequence
 
 from repro.core.coverage import PackedTrie
 from repro.model.apply import transform_trie_rows
-from repro.parallel.executor import ShardedExecutor, worker_state
+from repro.parallel.executor import (
+    DEFAULT_MAX_SHARD_RETRIES,
+    ShardedExecutor,
+    worker_state,
+)
 
 
 class TransformShardState:
@@ -54,12 +58,16 @@ def sharded_transform(
     num_workers: int,
     start_method: str | None = None,
     task_timeout: float | None = None,
+    max_shard_retries: int = DEFAULT_MAX_SHARD_RETRIES,
+    serial_fallback: bool = True,
 ) -> dict[int, list[tuple[int, str]]]:
     """Apply the trie's transformations to *values*, sharded by row.
 
     Returns the same mapping as
     :func:`~repro.model.apply.transform_trie_rows` over all rows —
-    byte-identical to the serial kernel.
+    byte-identical to the serial kernel.  ``task_timeout``/
+    ``max_shard_retries``/``serial_fallback`` configure the executor's
+    recovery behaviour.
     """
     state = TransformShardState(list(values), trie)
     outputs: dict[int, list[tuple[int, str]]] = {}
@@ -68,6 +76,8 @@ def sharded_transform(
         num_workers=num_workers,
         start_method=start_method,
         task_timeout=task_timeout,
+        max_shard_retries=max_shard_retries,
+        serial_fallback=serial_fallback,
     )
     with executor:
         for shard_outputs in executor.map_shards(

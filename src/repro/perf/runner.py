@@ -273,6 +273,11 @@ class BenchmarkRunner:
             "top_coverage": result.top_coverage,
             "joined_pairs": join_result.num_pairs,
             "num_workers": num_workers,
+            # Degradation flag: true when a discovery time budget cut the
+            # coverage walk short.  Benchmark runs must never be budgeted
+            # (the timings would not be comparable), so validate_payload
+            # rejects any record carrying it.
+            "budget_exhausted": result.stats.budget_exhausted,
             # What the small-input fast path actually ran with (coverage
             # shards over candidate pairs) — the honest denominator for
             # any parallel-efficiency reading of this record.
@@ -491,6 +496,11 @@ def validate_payload(payload: dict) -> list[str]:
                 problems.append(f"{label}: no apply_only stage recorded")
             if is_discovery and record.get("joined_pairs", 0) <= 0:
                 problems.append(f"{label}: apply-only join produced no pairs")
+            if record.get("budget_exhausted"):
+                # A budget-truncated run timed a prefix of the work — its
+                # numbers are not comparable to complete runs and must not
+                # land in a BENCH file.
+                problems.append(f"{label}: run was cut by a discovery time budget")
         if len(engines) > 1 and "identical" not in rung:
             problems.append(
                 f"rung {rows}: multiple engines recorded but no identical flag"

@@ -15,7 +15,7 @@ paper depends on (string columns, equi-join) without pulling in pandas, so
 the join semantics used by the experiments are explicit and testable.
 """
 
-from repro.table.io import read_csv, write_csv
+from repro.table.io import TableReadError, read_csv, write_csv
 from repro.table.ops import equi_join, hash_join, project, rename, select
 from repro.table.schema import ColumnSchema, TableSchema
 from repro.table.table import Column, Row, Table
@@ -25,6 +25,7 @@ __all__ = [
     "ColumnSchema",
     "Row",
     "Table",
+    "TableReadError",
     "TableSchema",
     "equi_join",
     "hash_join",

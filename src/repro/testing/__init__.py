@@ -1,0 +1,26 @@
+"""Test-support utilities shipped with the library.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection harness the
+robustness tests and the CI chaos job use to kill, hang, or raise inside
+sharded-executor workers.  It lives in the package (not under ``tests/``)
+because the hook must be importable inside worker *processes* — including
+spawn-started workers that re-import the library from scratch.
+"""
+
+from repro.testing.faults import (
+    FAULT_ENV,
+    FaultInjected,
+    FaultSpec,
+    active_fault,
+    maybe_inject,
+    parse_fault_spec,
+)
+
+__all__ = [
+    "FAULT_ENV",
+    "FaultInjected",
+    "FaultSpec",
+    "active_fault",
+    "maybe_inject",
+    "parse_fault_spec",
+]

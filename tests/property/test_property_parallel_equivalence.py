@@ -199,7 +199,7 @@ class TestShardedCoverageEquivalence:
             sorted(result.covered_rows)
             for result in serial.coverage_of_all(transformations)
         ]
-        covered, hits, misses, applications = sharded_coverage(
+        covered, hits, misses, applications, rows_processed = sharded_coverage(
             pairs,
             transformations,
             use_unit_cache=True,
@@ -208,6 +208,7 @@ class TestShardedCoverageEquivalence:
         )
         assert [sorted(rows) for rows in covered] == expected
         assert (hits, misses, applications) == stats_tuple(serial)
+        assert rows_processed == len(pairs)
 
 
 class TestShardedMatchingEquivalence:

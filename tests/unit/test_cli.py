@@ -272,6 +272,160 @@ class TestFitApplyCommands:
         assert "error" in capsys.readouterr().err
 
 
+class TestErrorContract:
+    def test_unreadable_csv_maps_to_one_error_line(self, staff_csvs, capsys):
+        # Invalid UTF-8 in an input table must surface as the one-line
+        # stderr contract (exit 1, single "error:" line, no traceback), not
+        # a UnicodeDecodeError traceback.
+        source_path, target_path = staff_csvs
+        source_path.write_bytes(b"Name\n\xff\xfe\n")
+        exit_code = main(
+            [
+                "discover",
+                str(source_path),
+                str(target_path),
+                "--source-column",
+                "Name",
+                "--target-column",
+                "Name",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert captured.err.startswith("error: ")
+        assert "not valid UTF-8" in captured.err
+        assert len(captured.err.strip().splitlines()) == 1
+
+    def test_ragged_csv_maps_to_one_error_line(self, staff_csvs, capsys):
+        source_path, target_path = staff_csvs
+        source_path.write_text("Name,Phone\nAlice\n")
+        exit_code = main(
+            [
+                "join",
+                str(source_path),
+                str(target_path),
+                "--source-column",
+                "Name",
+                "--target-column",
+                "Name",
+                "--output",
+                str(source_path.parent / "joined.csv"),
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 1
+        assert captured.err.startswith("error: ")
+        assert "expected 2 cells" in captured.err
+
+
+class TestTimeBudgetFlag:
+    def test_exhausted_budget_warns_but_succeeds(self, staff_csvs, capsys):
+        # Budget exhaustion is a degraded success: valid partial output on
+        # stdout, one warning line on stderr, exit code 0.
+        source_path, target_path = staff_csvs
+        exit_code = main(
+            [
+                "discover",
+                str(source_path),
+                str(target_path),
+                "--source-column",
+                "Name",
+                "--target-column",
+                "Name",
+                "--time-budget",
+                "0.000000001",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "covering set:" in captured.out
+        assert captured.err.startswith("warning: discovery time budget exhausted")
+        assert len(captured.err.strip().splitlines()) == 1
+
+    def test_generous_budget_is_silent(self, staff_csvs, capsys):
+        source_path, target_path = staff_csvs
+        exit_code = main(
+            [
+                "discover",
+                str(source_path),
+                str(target_path),
+                "--source-column",
+                "Name",
+                "--target-column",
+                "Name",
+                "--time-budget",
+                "3600",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert captured.err == ""
+
+    def test_fit_records_budget_exhaustion_in_the_model(
+        self, staff_csvs, tmp_path, capsys
+    ):
+        from repro.model import TransformationModel
+
+        source_path, target_path = staff_csvs
+        model_path = tmp_path / "model.json"
+        exit_code = main(
+            [
+                "fit",
+                str(source_path),
+                str(target_path),
+                "--source-column",
+                "Name",
+                "--target-column",
+                "Name",
+                "--save",
+                str(model_path),
+                "--time-budget",
+                "0.000000001",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert captured.err.startswith("warning: discovery time budget exhausted")
+        model = TransformationModel.load(model_path)
+        assert model.stats["budget_exhausted"] is True
+
+
+class TestFaultToleranceFlags:
+    def test_fault_knobs_parse_and_run(self, staff_csvs, tmp_path, capsys):
+        # The resilience knobs must thread end-to-end through every stage
+        # without changing results.
+        source_path, target_path = staff_csvs
+        argv = [
+            "join",
+            str(source_path),
+            str(target_path),
+            "--source-column",
+            "Name",
+            "--target-column",
+            "Name",
+        ]
+        baseline = tmp_path / "baseline.csv"
+        tolerant = tmp_path / "tolerant.csv"
+        assert main(argv + ["--output", str(baseline)]) == 0
+        assert (
+            main(
+                argv
+                + [
+                    "--output",
+                    str(tolerant),
+                    "--task-timeout",
+                    "60",
+                    "--shard-retries",
+                    "1",
+                    "--no-serial-fallback",
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert tolerant.read_text() == baseline.read_text()
+
+
 class TestBenchmarkCommand:
     def test_materializes_dataset(self, tmp_path, capsys):
         exit_code = main(

@@ -30,6 +30,19 @@ def _shard_range(start: int, stop: int) -> list[int]:
     return list(range(start, stop))
 
 
+def _shard_boom(start: int, stop: int) -> int:
+    raise ValueError(f"boom in {start}:{stop}")
+
+
+def _shard_nested_sum(start: int, stop: int) -> int:
+    """Run a second, inline executor over different state mid-shard."""
+    outer = worker_state()
+    with ShardedExecutor([100, 200], num_workers=1) as inner:
+        inner_sums = inner.map_shards(_shard_sum, 2)
+    # The inner executor must restore this (outer) shard's state on exit.
+    return sum(inner_sums) + sum(outer[start:stop])
+
+
 class TestResolveNumWorkers:
     def test_positive_is_literal(self):
         assert resolve_num_workers(1) == 1
@@ -154,6 +167,48 @@ class TestShardedExecutor:
         # The state installed for the inline run must not leak.
         with pytest.raises(RuntimeError):
             worker_state()
+
+    def test_inline_state_restored_after_worker_exception(self):
+        # The save/restore is try/finally — a raising worker must not leave
+        # its shard's state installed as the process-global worker state.
+        from repro.parallel import ShardError
+
+        with ShardedExecutor([1, 2], num_workers=1) as executor:
+            with pytest.raises(ShardError) as excinfo:
+                executor.map_shards(_shard_boom, 2)
+        assert isinstance(excinfo.value.__cause__, ValueError)
+        with pytest.raises(RuntimeError):
+            worker_state()
+
+    def test_nested_inline_executors_restore_outer_state(self):
+        values = [1, 2, 3]
+        with ShardedExecutor(values, num_workers=1) as executor:
+            shard_sums = executor.map_shards(_shard_nested_sum, len(values))
+        # Every shard saw the inner sum (300) plus its own slice of the
+        # *outer* state — proof the nesting restored state between shards.
+        assert sum(shard_sums) == 300 * len(shard_sums) + sum(values)
+        with pytest.raises(RuntimeError):
+            worker_state()
+
+    @pytest.mark.parametrize("num_workers", [1, 2])
+    def test_executor_is_single_use(self, num_workers):
+        # Both the inline and the pool-backed executor refuse reuse after
+        # exit: the pool is gone (or terminated, if the run degraded), so
+        # silently re-entering would rebuild state the caller thinks is
+        # shared.
+        values = list(range(10))
+        executor = ShardedExecutor(values, num_workers=num_workers)
+        with executor:
+            executor.map_shards(_shard_sum, len(values))
+        with pytest.raises(RuntimeError, match="single-use"):
+            executor.__enter__()
+        with pytest.raises(RuntimeError):
+            executor.map_shards(_shard_sum, len(values))
+
+    def test_reentering_an_entered_executor_rejected(self):
+        with ShardedExecutor(None, num_workers=1) as executor:
+            with pytest.raises(RuntimeError):
+                executor.__enter__()
 
 
 class TestTunedNumWorkers:

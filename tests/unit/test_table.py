@@ -229,3 +229,59 @@ class TestTableIO:
         path = tmp_path / "quoted.csv"
         write_csv(table, path)
         assert read_csv(path) == table
+
+
+class TestTableReadErrors:
+    def test_ragged_row_error_carries_file_and_line(self, tmp_path):
+        from repro.table.io import TableReadError, read_csv
+
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(
+            TableReadError, match=r"ragged\.csv:3: expected 2 cells, got 1"
+        ):
+            read_csv(path)
+
+    def test_invalid_utf8_error_carries_file_and_byte(self, tmp_path):
+        from repro.table.io import TableReadError, read_csv
+
+        path = tmp_path / "binary.csv"
+        path.write_bytes(b"a,b\n\xff\xfe,2\n")
+        with pytest.raises(TableReadError, match=r"binary\.csv: not valid UTF-8"):
+            read_csv(path)
+
+    def test_empty_file_error_is_typed(self, tmp_path):
+        from repro.table.io import TableReadError, read_csv
+
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        # TableReadError subclasses ValueError, so pre-typed callers that
+        # catch ValueError (see TestTableIO above) keep working.
+        with pytest.raises(TableReadError, match="expected a header row"):
+            read_csv(path)
+        assert issubclass(TableReadError, ValueError)
+
+    def test_lenient_mode_substitutes_replacement_characters(self, tmp_path):
+        from repro.table.io import read_csv
+
+        path = tmp_path / "binary.csv"
+        path.write_bytes(b"a,b\nx\xff,2\n")
+        table = read_csv(path, errors="replace")
+        assert table["a"].values == ("x�",)
+        assert table["b"].values == ("2",)
+
+    def test_lenient_mode_coerces_ragged_rows(self, tmp_path):
+        from repro.table.io import read_csv
+
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1\n2,3,4\n")
+        table = read_csv(path, errors="replace")
+        # Short rows pad with empty cells, long rows truncate.
+        assert table["a"].values == ("1", "2")
+        assert table["b"].values == ("", "3")
+
+    def test_unknown_errors_mode_rejected(self, tmp_path):
+        from repro.table.io import read_csv
+
+        with pytest.raises(ValueError, match="strict"):
+            read_csv(tmp_path / "x.csv", errors="ignore")
