@@ -35,6 +35,10 @@ Sub-packages
 ``repro.model``
     The artifact layer: serializable transformation models and the
     apply-only execution engine.
+``repro.serve``
+    The serving layer: a long-lived HTTP join server with a hot-reloading
+    model registry, warm compiled-artifact caches, and request
+    micro-batching.
 ``repro.baselines``
     Naive enumeration, Auto-Join, and Auto-FuzzyJoin baselines.
 ``repro.datasets``

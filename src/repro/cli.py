@@ -22,6 +22,11 @@ without writing Python:
 ``python -m repro benchmark``
     Generate one of the built-in benchmark datasets to a directory as CSV
     files, so external tools can consume the same workloads.
+
+``python -m repro serve``
+    Serve a directory of saved models over HTTP: ``POST /join/<model>``
+    joins a source batch against a target column with warm caches,
+    ``GET /models`` and ``GET /stats`` introspect the registry.
 """
 
 from __future__ import annotations
@@ -149,6 +154,49 @@ def build_parser() -> argparse.ArgumentParser:
         "--scale", type=float, default=1.0, help="dataset scale (1.0 = paper scale)"
     )
     benchmark.add_argument("--seed", type=int, default=0, help="generator seed")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="serve a directory of fitted models as a long-lived HTTP join service",
+    )
+    serve.add_argument(
+        "model_dir",
+        type=Path,
+        help="directory of model JSON files written by `repro fit --save`; "
+        "each file serves under its stem, e.g. products.json -> "
+        "POST /join/products",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8080, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--num-workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for the apply stage of each request (1 = "
+            "serial, 0 = all cores; default: REPRO_NUM_WORKERS or 1)"
+        ),
+    )
+    serve.add_argument(
+        "--joiner-cache",
+        type=int,
+        default=16,
+        help="compiled-joiner LRU capacity (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--index-cache",
+        type=int,
+        default=32,
+        help="target-index LRU capacity (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--no-micro-batch",
+        action="store_true",
+        help="disable coalescing of concurrent same-model requests",
+    )
+    _add_fault_arguments(serve)
     return parser
 
 
@@ -436,6 +484,41 @@ def run_benchmark(args: argparse.Namespace) -> int:
     return 0
 
 
+def run_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` sub-command: a long-lived HTTP join service."""
+    # Imported here, not at module top: the serving stack (HTTP server,
+    # registry, caches) is only needed by this one sub-command.
+    from repro.serve import JoinServer
+
+    if not args.model_dir.is_dir():
+        print(f"error: model directory {args.model_dir} not found", file=sys.stderr)
+        return 1
+    with JoinServer(
+        args.model_dir,
+        host=args.host,
+        port=args.port,
+        num_workers=args.num_workers,
+        joiner_cache_capacity=args.joiner_cache,
+        index_cache_capacity=args.index_cache,
+        micro_batch=not args.no_micro_batch,
+        task_timeout_s=args.task_timeout,
+        shard_retries=args.shard_retries,
+        serial_fallback=not args.no_serial_fallback,
+    ) as server:
+        server.install_signal_handlers()
+        models = server.engine.registry.list_models()
+        print(f"serving {len(models)} model(s) from {args.model_dir}")
+        for entry in models:
+            if entry["ok"]:
+                status = f"{entry['num_transformations']} transformations"
+            else:
+                status = f"load error: {entry['error']}"
+            print(f"  {entry['name']}: {status}")
+        print(f"listening on {server.url} (SIGTERM/SIGINT drains and exits)")
+        server.serve_forever()
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
@@ -446,6 +529,7 @@ def main(argv: list[str] | None = None) -> int:
         "fit": run_fit,
         "apply": run_apply,
         "benchmark": run_benchmark,
+        "serve": run_serve,
     }
     try:
         return handlers[args.command](args)

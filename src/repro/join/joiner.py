@@ -18,6 +18,8 @@ equivalence tests compare the batched path against.
 
 from __future__ import annotations
 
+import hashlib
+import threading
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
@@ -27,6 +29,25 @@ from repro.matching.index import ValueIndex
 from repro.model.apply import TransformationApplier
 from repro.parallel.executor import env_default_workers
 from repro.table.table import Table
+
+
+def target_values_key(values: Sequence[str]) -> bytes:
+    """A collision-resistant identity digest of a target value list.
+
+    Length-prefixed so value boundaries cannot alias (``["ab","c"]`` and
+    ``["a","bc"]`` digest differently).  This is the cache key for prebuilt
+    target :class:`ValueIndex` objects — on the joiner's most-recent-target
+    cache and in the serving registry's bounded index cache — so it must
+    never collide for differing inputs in practice; a 128-bit blake2b digest
+    over the exact bytes gives that without keeping the values alive.
+    """
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(len(values).to_bytes(8, "little"))
+    for value in values:
+        raw = value.encode("utf-8")
+        digest.update(len(raw).to_bytes(8, "little"))
+        digest.update(raw)
+    return digest.digest()
 
 
 @dataclass
@@ -179,6 +200,13 @@ class TransformationJoiner:
         self._shard_retries = shard_retries
         self._serial_fallback = serial_fallback
         self._applier: TransformationApplier | None = None
+        # Most-recent target index, keyed by the identity digest of the raw
+        # target values: the apply-many scenario usually joins many source
+        # batches against one target column, and rebuilding the ValueIndex
+        # per call was the known cold-path waste.  The lock also guards the
+        # lazy applier build — joiners are shared across server threads.
+        self._target_index_cache: tuple[bytes, ValueIndex] | None = None
+        self._lock = threading.Lock()
 
     @staticmethod
     def _supported_transformations(
@@ -229,6 +257,24 @@ class TransformationJoiner:
         """The apply-stage worker knob (1 = serial, 0 = all cores)."""
         return self._num_workers
 
+    @property
+    def case_insensitive(self) -> bool:
+        """Whether values are lower-cased before applying and comparing."""
+        return self._case_insensitive
+
+    def build_target_index(self, target_values: Sequence[str]) -> ValueIndex:
+        """Build the packed equi-join index for *target_values*.
+
+        Applies this joiner's normalization (lower-casing when the joiner is
+        case-insensitive), so the returned index is exactly what
+        :meth:`join_values` would have built internally — the way to prebuild
+        an index for the ``target_index`` parameter (e.g. a serving cache
+        that keeps indexes warm across requests).
+        """
+        if self._case_insensitive:
+            target_values = [value.lower() for value in target_values]
+        return ValueIndex.build(target_values)
+
     # ------------------------------------------------------------------ #
     # Joining
     # ------------------------------------------------------------------ #
@@ -236,6 +282,8 @@ class TransformationJoiner:
         self,
         source_values: Sequence[str],
         target_values: Sequence[str],
+        *,
+        target_index: ValueIndex | None = None,
     ) -> JoinResult:
         """Join two plain value lists; row ids are list positions.
 
@@ -248,21 +296,45 @@ class TransformationJoiner:
         transformation-major order as the reference loop, so pairs, order
         and first-match attribution are identical to
         :meth:`join_values_reference`.
+
+        The target index is likewise built at most once per target column:
+        pass a prebuilt *target_index* (see :meth:`build_target_index` — the
+        caller owns normalization consistency then), or rely on the joiner's
+        most-recent-target cache, which recognizes a repeated *target_values*
+        list by content digest and reuses the previous index instead of
+        rebuilding it on every call.
         """
         if not self._use_batched_apply:
             return self.join_values_reference(source_values, target_values)
+        key: bytes | None = None
+        if target_index is None:
+            # Identity digest of the *raw* values: normalization happens
+            # after the lookup, so a cached index (built over normalized
+            # values) keyed by the raw digest is exactly the index this call
+            # would build.
+            key = target_values_key(target_values)
+            with self._lock:
+                cached = self._target_index_cache
+            if cached is not None and cached[0] == key:
+                target_index = cached[1]
         if self._case_insensitive:
             source_values = [value.lower() for value in source_values]
-            target_values = [value.lower() for value in target_values]
         else:
             source_values = list(source_values)
-            target_values = list(target_values)
-        # The equi-join target map is the packed exact-value index: one build
-        # pass, sorted array('i') postings probed without copying.
-        target_index = ValueIndex.build(target_values)
-        if self._applier is None:
-            self._applier = TransformationApplier(self._transformations)
-        outputs = self._applier.transform_rows(
+        if target_index is None:
+            # The equi-join target map is the packed exact-value index: one
+            # build pass, sorted array('i') postings probed without copying.
+            target_index = self.build_target_index(target_values)
+            assert key is not None
+            with self._lock:
+                self._target_index_cache = (key, target_index)
+        with self._lock:
+            applier = self._applier
+            if applier is None:
+                applier = self._applier = TransformationApplier(
+                    self._transformations
+                )
+        outputs = applier.transform_rows(
             source_values,
             num_workers=self._num_workers,
             min_rows_per_worker=self._min_rows_per_worker,
@@ -276,12 +348,12 @@ class TransformationJoiner:
         for index, transformation in enumerate(self._transformations):
             for source_row, transformed in outputs.get(index, ()):
                 for target_row in target_index.rows_for(transformed):
-                    key = (source_row, target_row)
-                    if key in seen:
+                    pair = (source_row, target_row)
+                    if pair in seen:
                         continue
-                    seen.add(key)
-                    result.pairs.append(key)
-                    result.matched_by[key] = transformation
+                    seen.add(pair)
+                    result.pairs.append(pair)
+                    result.matched_by[pair] = transformation
         return result
 
     def join_values_reference(

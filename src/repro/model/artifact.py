@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Any
@@ -90,9 +91,15 @@ class TransformationModel:
     )
     # Joiner cache, keyed by the worker knobs: the fit-once / apply-many
     # path must pay the support filter and the trie compile once per model,
-    # not once per batch.  Never serialized, never compared.
+    # not once per batch.  Never serialized, never compared.  The lock keeps
+    # the memo coherent when one model instance serves concurrent request
+    # threads (the `repro.serve` registry shares models across a
+    # ThreadingHTTPServer's handlers).
     _joiners: dict = field(
         default_factory=dict, init=False, compare=False, repr=False
+    )
+    _joiners_lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, compare=False, repr=False
     )
 
     def __post_init__(self) -> None:
@@ -213,20 +220,21 @@ class TransformationModel:
             shard_retries,
             serial_fallback,
         )
-        joiner = self._joiners.get(key)
-        if joiner is None:
-            joiner = self._joiners[key] = TransformationJoiner(
-                self.transformations,
-                min_support=self.min_support,
-                coverage_counts=self.coverage_counts,
-                num_candidate_pairs=self.num_candidate_pairs,
-                case_insensitive=self.case_insensitive,
-                num_workers=num_workers,
-                min_rows_per_worker=min_rows_per_worker,
-                task_timeout_s=task_timeout_s,
-                shard_retries=shard_retries,
-                serial_fallback=serial_fallback,
-            )
+        with self._joiners_lock:
+            joiner = self._joiners.get(key)
+            if joiner is None:
+                joiner = self._joiners[key] = TransformationJoiner(
+                    self.transformations,
+                    min_support=self.min_support,
+                    coverage_counts=self.coverage_counts,
+                    num_candidate_pairs=self.num_candidate_pairs,
+                    case_insensitive=self.case_insensitive,
+                    num_workers=num_workers,
+                    min_rows_per_worker=min_rows_per_worker,
+                    task_timeout_s=task_timeout_s,
+                    shard_retries=shard_retries,
+                    serial_fallback=serial_fallback,
+                )
         return joiner
 
     # ------------------------------------------------------------------ #

@@ -18,8 +18,26 @@ or outputs are empty, which CI uses to keep the hot path honest.  The
 (:mod:`repro.parallel`) next to the serial fast path, recording per-rung
 speedup and parallel efficiency; the payload's ``host`` block (CPU count,
 start method) keeps those numbers interpretable across machines.
+
+The serving side has its own harness: :mod:`repro.perf.serve_bench` starts
+an in-process :class:`~repro.serve.server.JoinServer` over a fitted model
+and drives it with closed-loop HTTP clients across a concurrency ladder,
+writing ``BENCH_serve.json`` (requests/sec, p50/p99, warm-vs-cold first
+request) — run it with ``python -m repro.perf --benchmark serve``.
 """
 
 from repro.perf.runner import BenchmarkRunner, host_metadata, validate_payload
+from repro.perf.serve_bench import (
+    ServeBenchConfig,
+    run_serve_benchmark,
+    validate_serve_payload,
+)
 
-__all__ = ["BenchmarkRunner", "host_metadata", "validate_payload"]
+__all__ = [
+    "BenchmarkRunner",
+    "ServeBenchConfig",
+    "host_metadata",
+    "run_serve_benchmark",
+    "validate_payload",
+    "validate_serve_payload",
+]

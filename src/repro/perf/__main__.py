@@ -30,6 +30,11 @@ from repro.perf.runner import (
     compare_to_baseline,
     validate_payload,
 )
+from repro.perf.serve_bench import (
+    DEFAULT_CONCURRENCY,
+    ServeBenchConfig,
+    run_serve_benchmark,
+)
 
 
 def _parse_ladder(text: str) -> tuple[int, ...]:
@@ -77,9 +82,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--benchmark",
-        choices=("matching", "discovery", "both"),
+        choices=("matching", "discovery", "both", "serve"),
         default="both",
-        help="which BENCH_*.json report(s) to produce (default: both)",
+        help=(
+            "which BENCH_*.json report(s) to produce (default: both; "
+            "'serve' runs the HTTP serving load generator instead of the "
+            "training ladder and writes BENCH_serve.json)"
+        ),
     )
     parser.add_argument(
         "--ladder",
@@ -156,11 +165,95 @@ def build_parser() -> argparse.ArgumentParser:
             "(default: %(default)s; loose on purpose, CI clocks are noisy)"
         ),
     )
+    serve = parser.add_argument_group("serve benchmark (--benchmark serve)")
+    serve.add_argument(
+        "--serve-rows",
+        type=int,
+        default=2000,
+        help="rows per request batch the serving model is fitted on "
+        "(default: %(default)s)",
+    )
+    serve.add_argument(
+        "--serve-concurrency",
+        type=_parse_workers,
+        default=DEFAULT_CONCURRENCY,
+        help="comma-separated closed-loop client counts swept against the "
+        "server (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--serve-duration",
+        type=float,
+        default=2.0,
+        help="seconds each concurrency level is driven for (default: %(default)s)",
+    )
+    serve.add_argument(
+        "--serve-workers",
+        type=int,
+        default=None,
+        help="apply-stage worker processes inside the server (default: "
+        "REPRO_NUM_WORKERS or serial)",
+    )
+    serve.add_argument(
+        "--serve-no-micro-batch",
+        action="store_true",
+        help="disable coalescing of concurrent same-model requests",
+    )
     return parser
+
+
+def _run_serve(args: argparse.Namespace) -> tuple[dict, Path]:
+    """Run the serving load generator and write ``BENCH_serve.json``."""
+    concurrency = args.serve_concurrency
+    duration = args.serve_duration
+    rows = args.serve_rows
+    if args.smoke:
+        rows = min(rows, 800)
+        duration = min(duration, 1.0)
+        concurrency = (1, 4)
+    payload = run_serve_benchmark(
+        ServeBenchConfig(
+            rows=rows,
+            concurrency=tuple(concurrency),
+            duration_s=duration,
+            num_workers=args.serve_workers,
+            micro_batch=not args.serve_no_micro_batch,
+        )
+    )
+    out = Path(args.out)
+    out.mkdir(parents=True, exist_ok=True)
+    path = out / "BENCH_serve.json"
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return payload, path
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.benchmark == "serve":
+        payload, path = _run_serve(args)
+        problems = [f"serve: {problem}" for problem in validate_payload(payload)]
+        cold = payload["cold"]["first_request_s"]
+        for level in payload["levels"]:
+            latency = level.get("latency") or {}
+            print(
+                f"[serve] c={level['concurrency']}: {level['requests']} req "
+                f"in {level['duration_s']:.2f}s, {level['rps']:.1f} req/s, "
+                f"p50={latency.get('p50_s', 0) * 1000:.1f}ms "
+                f"p99={latency.get('p99_s', 0) * 1000:.1f}ms, "
+                f"errors={level['errors']}, "
+                f"matches_offline={level['matches_offline']}"
+            )
+        warm = payload["warm_vs_cold"]
+        print(
+            f"[serve] cold first request {cold * 1000:.1f}ms vs warm p50 "
+            f"{(warm['warm_p50_s'] or 0) * 1000:.1f}ms "
+            f"(warm_below_cold={warm['warm_below_cold']})"
+        )
+        print(f"[serve] wrote {path}")
+        if problems:
+            for problem in problems:
+                print(f"SMOKE FAILURE: {problem}", file=sys.stderr)
+            return 1
+        return 0
     ladder = args.ladder
     engines = args.engines
     if args.smoke:

@@ -464,8 +464,15 @@ def validate_payload(payload: dict) -> list[str]:
     """Sanity-check a benchmark payload; returns a list of problems (empty = ok).
 
     Used by the ``--smoke`` CLI mode (and CI) to assert that stage timings
-    were recorded and that the run produced non-empty outputs.
+    were recorded and that the run produced non-empty outputs.  Serving
+    payloads (``"benchmark": "serve"``, written by
+    :mod:`repro.perf.serve_bench`) have their own shape and checks and are
+    dispatched to :func:`~repro.perf.serve_bench.validate_serve_payload`.
     """
+    if payload.get("benchmark") == "serve":
+        from repro.perf.serve_bench import validate_serve_payload
+
+        return validate_serve_payload(payload)
     problems: list[str] = []
     rungs = payload.get("rungs") or []
     is_discovery = payload.get("benchmark") == "discovery"

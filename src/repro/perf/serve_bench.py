@@ -1,0 +1,367 @@
+"""The serving load generator behind ``BENCH_serve.json``.
+
+Where :class:`~repro.perf.runner.BenchmarkRunner` measures *training* cost
+(matching + discovery seconds per ladder rung), this harness measures
+*serving* throughput: it fits one model on a synthetic table pair, persists
+it into a registry directory, starts an in-process
+:class:`~repro.serve.server.JoinServer`, and drives it with **closed-loop
+HTTP clients** — each client thread posts a join request, waits for the
+response, and immediately posts the next — sweeping a ladder of concurrency
+levels and reporting requests/sec and p50/p99 latency per level.
+
+Two correctness guarantees ride along with the numbers, so the payload is a
+smoke test as much as a benchmark (``validate_payload`` enforces both):
+
+* **responses match offline apply** — clients parse sampled responses and
+  compare the joined pairs (content *and* order) against the offline
+  ``model.joiner().join_values`` result; any mismatch counts as an error
+  and errors must be zero;
+* **warm beats cold** — the very first request pays the model load, trie
+  compile and target-index build; every later request hits the registry
+  caches.  The payload records both latencies and asserts warm p50 is
+  strictly below the cold first request.
+"""
+
+from __future__ import annotations
+
+import json
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from http.client import HTTPConnection
+from pathlib import Path
+
+from repro.datasets.synthetic import SyntheticConfig, generate_table_pair
+from repro.join.pipeline import JoinPipeline
+from repro.perf.runner import host_metadata
+
+#: Concurrency ladder swept by default.
+DEFAULT_CONCURRENCY: tuple[int, ...] = (1, 2, 4, 8)
+
+#: Every Nth response is fully parsed and compared against the offline
+#: join; the first response of every client thread is always verified.
+_VERIFY_EVERY = 16
+
+
+@dataclass
+class ServeBenchConfig:
+    """Knobs of one serving benchmark run.
+
+    ``rows`` sizes the table pair the model is fitted on and the target
+    column every request joins against; ``batch_rows`` is the source batch
+    each request posts.  The small-batch-against-big-target shape is the
+    realistic serving workload ("join my incoming rows against the
+    reference table") and is also what makes the warm/cold split
+    measurable: the cold first request pays the model load, trie compile
+    and the target index build over all ``rows`` values, while a warm
+    request only transforms ``batch_rows`` source rows.
+    """
+
+    rows: int = 2000
+    batch_rows: int = 256
+    row_length: int = 28
+    seed: int = 0
+    concurrency: tuple[int, ...] = DEFAULT_CONCURRENCY
+    duration_s: float = 2.0
+    num_workers: int | None = None
+    micro_batch: bool = True
+    min_support: float = 0.05
+
+
+@dataclass
+class _ClientTally:
+    """One client thread's aggregated observations."""
+
+    latencies: list[float] = field(default_factory=list)
+    errors: int = 0
+    verified: int = 0
+    mismatches: int = 0
+
+
+def _client_loop(
+    host: str,
+    port: int,
+    model_name: str,
+    body: bytes,
+    expected_pairs: list[list[int]],
+    deadline: float,
+    tally: _ClientTally,
+) -> None:
+    """Closed loop: request, await, verify (sampled), repeat until deadline."""
+    headers = {"Content-Type": "application/json"}
+    connection = HTTPConnection(host, port, timeout=60)
+    request_index = 0
+    try:
+        while time.perf_counter() < deadline:
+            started = time.perf_counter()
+            try:
+                connection.request("POST", f"/join/{model_name}", body, headers)
+                response = connection.getresponse()
+                raw = response.read()
+                elapsed = time.perf_counter() - started
+                if response.status != 200:
+                    tally.errors += 1
+                    continue
+            except OSError:
+                tally.errors += 1
+                connection.close()
+                connection = HTTPConnection(host, port, timeout=60)
+                continue
+            tally.latencies.append(elapsed)
+            if request_index % _VERIFY_EVERY == 0:
+                payload = json.loads(raw)
+                tally.verified += 1
+                if payload.get("pairs") != expected_pairs:
+                    tally.mismatches += 1
+                    tally.errors += 1
+            request_index += 1
+    finally:
+        connection.close()
+
+
+def _quantile(ordered: list[float], q: float) -> float:
+    return ordered[min(int(q * len(ordered)), len(ordered) - 1)]
+
+
+def _latency_summary(latencies: list[float]) -> dict:
+    ordered = sorted(latencies)
+    return {
+        "mean_s": sum(ordered) / len(ordered),
+        "p50_s": _quantile(ordered, 0.50),
+        "p99_s": _quantile(ordered, 0.99),
+        "max_s": ordered[-1],
+    }
+
+
+def run_serve_benchmark(config: ServeBenchConfig | None = None) -> dict:
+    """Fit, serve, and load-test one model; returns the BENCH payload.
+
+    The server runs in-process (threads, ephemeral port), so the numbers
+    include real HTTP parsing and JSON encode/decode but no network hop —
+    the right shape for a single-host throughput trajectory.
+    """
+    # Imported here, not at module top: the serving subsystem is only
+    # needed when the serve benchmark actually runs.
+    from repro.serve.server import JoinServer
+
+    config = config or ServeBenchConfig()
+    pair, _ = generate_table_pair(
+        SyntheticConfig(
+            num_rows=config.rows,
+            min_length=config.row_length,
+            max_length=config.row_length,
+            seed=config.seed,
+        )
+    )
+    source_values = list(pair.source["value"])
+    target_values = list(pair.target["value"])
+
+    pipeline = JoinPipeline(min_support=config.min_support)
+    fit_started = time.perf_counter()
+    model = pipeline.fit(
+        pair.source, pair.target, source_column="value", target_column="value"
+    )
+    fit_seconds = time.perf_counter() - fit_started
+
+    # Every request joins one source batch against the full target column.
+    source_batch = source_values[: config.batch_rows]
+
+    # The offline ground truth every sampled response is compared against:
+    # a fresh joiner, exactly what JoinPipeline.apply would run.
+    offline = model.joiner().join_values(source_batch, target_values)
+    expected_pairs = [list(joined_pair) for joined_pair in offline.pairs]
+
+    body = json.dumps({"source": source_batch, "target": target_values}).encode(
+        "utf-8"
+    )
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-bench-") as tmp:
+        model_path = Path(tmp) / "bench.json"
+        model.save(model_path)
+        with JoinServer(
+            tmp,
+            port=0,
+            num_workers=config.num_workers,
+            micro_batch=config.micro_batch,
+        ) as server:
+            server.start_background()
+            host, port = server.address
+            headers = {"Content-Type": "application/json"}
+
+            # ---- cold: the first request ever, pays every build ---- #
+            connection = HTTPConnection(host, port, timeout=120)
+            started = time.perf_counter()
+            connection.request("POST", "/join/bench", body, headers)
+            response = connection.getresponse()
+            cold_payload = json.loads(response.read())
+            cold_seconds = time.perf_counter() - started
+            cold_ok = (
+                response.status == 200
+                and cold_payload.get("pairs") == expected_pairs
+                and cold_payload.get("warm") is False
+            )
+
+            # ---- warm confirmation before the sweep ---- #
+            started = time.perf_counter()
+            connection.request("POST", "/join/bench", body, headers)
+            response = connection.getresponse()
+            warm_payload = json.loads(response.read())
+            warm_probe_seconds = time.perf_counter() - started
+            warm_ok = (
+                response.status == 200
+                and warm_payload.get("pairs") == expected_pairs
+                and warm_payload.get("warm") is True
+            )
+            connection.close()
+
+            # ---- the concurrency ladder ---- #
+            levels = []
+            for concurrency in config.concurrency:
+                tallies = [_ClientTally() for _ in range(concurrency)]
+                deadline = time.perf_counter() + config.duration_s
+                level_started = time.perf_counter()
+                threads = [
+                    threading.Thread(
+                        target=_client_loop,
+                        args=(
+                            host,
+                            port,
+                            "bench",
+                            body,
+                            expected_pairs,
+                            deadline,
+                            tally,
+                        ),
+                        name=f"serve-bench-c{concurrency}-{index}",
+                    )
+                    for index, tally in enumerate(tallies)
+                ]
+                for thread in threads:
+                    thread.start()
+                for thread in threads:
+                    thread.join()
+                level_elapsed = time.perf_counter() - level_started
+                latencies = [
+                    latency for tally in tallies for latency in tally.latencies
+                ]
+                errors = sum(tally.errors for tally in tallies)
+                verified = sum(tally.verified for tally in tallies)
+                mismatches = sum(tally.mismatches for tally in tallies)
+                level: dict = {
+                    "concurrency": concurrency,
+                    "requests": len(latencies),
+                    "errors": errors,
+                    "duration_s": level_elapsed,
+                    "rps": len(latencies) / level_elapsed if level_elapsed else 0.0,
+                    "verified_responses": verified,
+                    "matches_offline": verified > 0 and mismatches == 0,
+                }
+                if latencies:
+                    level["latency"] = _latency_summary(latencies)
+                levels.append(level)
+
+            server_stats = server.engine.stats()
+
+    # Warm latency is judged at concurrency 1 — higher levels measure
+    # queueing, not the cache's build-skipping.
+    warm_p50 = None
+    for level in levels:
+        if level["concurrency"] == 1 and "latency" in level:
+            warm_p50 = level["latency"]["p50_s"]
+            break
+    if warm_p50 is None and levels and "latency" in levels[0]:
+        warm_p50 = levels[0]["latency"]["p50_s"]
+
+    return {
+        "benchmark": "serve",
+        "harness": "repro.perf.serve_bench",
+        "host": host_metadata(),
+        "config": {
+            "rows": config.rows,
+            "batch_rows": len(source_batch),
+            "row_length": config.row_length,
+            "seed": config.seed,
+            "concurrency": list(config.concurrency),
+            "duration_s": config.duration_s,
+            "num_workers": config.num_workers,
+            "micro_batch": config.micro_batch,
+            "min_support": config.min_support,
+        },
+        "model": {
+            "name": "bench",
+            "num_transformations": model.num_transformations,
+            "num_candidate_pairs": model.num_candidate_pairs,
+            "fit_s": fit_seconds,
+            "offline_joined_pairs": offline.num_pairs,
+        },
+        "cold": {
+            "first_request_s": cold_seconds,
+            "response_ok": cold_ok,
+            "warm_probe_s": warm_probe_seconds,
+            "warm_probe_ok": warm_ok,
+        },
+        "levels": levels,
+        "warm_vs_cold": {
+            "cold_first_request_s": cold_seconds,
+            "warm_p50_s": warm_p50,
+            "warm_below_cold": warm_p50 is not None and warm_p50 < cold_seconds,
+        },
+        "server_stats": server_stats,
+    }
+
+
+def validate_serve_payload(payload: dict) -> list[str]:
+    """Sanity-check a serving benchmark payload; empty list = ok.
+
+    The serving analogue of the discovery payload checks: every level must
+    have produced traffic with zero errors and offline-identical responses,
+    and the warm path must have beaten the cold first request — a warm p50
+    at or above cold latency means the caches failed to skip the builds.
+    """
+    problems: list[str] = []
+    cold = payload.get("cold") or {}
+    if not cold.get("first_request_s"):
+        problems.append("cold: no first-request latency recorded")
+    if not cold.get("response_ok"):
+        problems.append("cold: first response wrong, not cold, or non-200")
+    if not cold.get("warm_probe_ok"):
+        problems.append("cold: warm probe response wrong, not warm, or non-200")
+    levels = payload.get("levels") or []
+    if not levels:
+        problems.append("no concurrency levels recorded")
+    for level in levels:
+        concurrency = level.get("concurrency")
+        label = f"level c{concurrency}"
+        if level.get("requests", 0) <= 0:
+            problems.append(f"{label}: no requests completed")
+        if level.get("errors", 0) != 0:
+            problems.append(f"{label}: {level.get('errors')} request errors")
+        if level.get("rps", 0) <= 0:
+            problems.append(f"{label}: requests/sec missing or non-positive")
+        if not level.get("matches_offline"):
+            problems.append(
+                f"{label}: responses were not verified identical to offline apply"
+            )
+        latency = level.get("latency") or {}
+        if latency:
+            if latency.get("p50_s", 0) <= 0:
+                problems.append(f"{label}: p50 latency missing or non-positive")
+            if latency.get("p99_s", 0) < latency.get("p50_s", 0):
+                problems.append(f"{label}: p99 below p50")
+        elif level.get("requests", 0) > 0:
+            problems.append(f"{label}: requests recorded but no latency summary")
+    warm_cold = payload.get("warm_vs_cold") or {}
+    if not warm_cold.get("warm_below_cold"):
+        problems.append(
+            "warm_vs_cold: warm p50 is not strictly below the cold first request"
+        )
+    return problems
+
+
+__all__ = [
+    "DEFAULT_CONCURRENCY",
+    "ServeBenchConfig",
+    "run_serve_benchmark",
+    "validate_serve_payload",
+]

@@ -1,0 +1,72 @@
+"""The typed error taxonomy of the serving layer.
+
+Every failure a request can hit maps to one exception type carrying an HTTP
+status, so the server translates errors to 4xx/5xx JSON bodies with a single
+handler instead of scattering status codes through the routing code — the
+same philosophy as the sharded executor's :mod:`repro.parallel.errors`
+taxonomy, which the server maps through this one (a ``ShardError`` surfaces
+as a 500 ``upstream`` body).
+
+* :class:`BadRequestError` (400) — the client sent something unusable:
+  invalid JSON, a missing ``source``/``target`` field, non-string values.
+* :class:`ModelNotFoundError` (404) — no model of that name exists in the
+  registry directory.
+* :class:`ModelLoadError` (500) — the model file exists but cannot be
+  loaded (corrupt JSON, foreign format, unsupported schema version, I/O
+  error).  Scoped to the one model: every other model keeps serving.
+"""
+
+from __future__ import annotations
+
+
+class ServeError(RuntimeError):
+    """Base type of all serving-layer failures.
+
+    ``status`` is the HTTP status code the server maps this error to.
+    """
+
+    status = 500
+
+    def payload(self) -> dict:
+        """The JSON error body the server responds with."""
+        return {"error": {"type": type(self).__name__, "message": str(self)}}
+
+
+class BadRequestError(ServeError):
+    """The request body or parameters are malformed (HTTP 400)."""
+
+    status = 400
+
+
+class ModelNotFoundError(ServeError):
+    """No model of the requested name exists in the registry (HTTP 404)."""
+
+    status = 404
+
+    def __init__(self, name: str) -> None:
+        super().__init__(f"no model named {name!r} in the registry")
+        self.name = name
+
+
+class ModelLoadError(ServeError):
+    """A registry model file exists but cannot be loaded (HTTP 500).
+
+    The failure is per model: the registry records it (``cause`` keeps the
+    underlying :class:`~repro.model.serialization.ModelFormatError` or
+    ``OSError``) and other models keep serving.
+    """
+
+    status = 500
+
+    def __init__(self, name: str, cause: BaseException) -> None:
+        super().__init__(f"model {name!r} failed to load: {cause}")
+        self.name = name
+        self.cause = cause
+
+
+__all__ = [
+    "BadRequestError",
+    "ModelLoadError",
+    "ModelNotFoundError",
+    "ServeError",
+]

@@ -1,0 +1,264 @@
+"""The model registry: named, disk-backed models kept warm for serving.
+
+A registry directory holds one ``<name>.json`` per model, each written by
+``TransformationModel.save`` (``repro fit --save``).  The registry turns that
+directory into a serving catalogue:
+
+* **named lookup** — ``get("customers")`` loads and caches
+  ``<dir>/customers.json``; an unknown name raises
+  :class:`~repro.serve.errors.ModelNotFoundError`, a corrupt file raises
+  :class:`~repro.serve.errors.ModelLoadError` *for that model only* — every
+  other model keeps serving;
+* **reload on change** — every lookup stats the file; a changed mtime
+  reloads the artifact and swaps it in atomically (readers see either the
+  complete old model or the complete new one, never a half-load), so an
+  incremental refit lands without a server restart;
+* **warm compiled artifacts** — the per-model trie-compiled
+  :class:`~repro.join.joiner.TransformationJoiner` and the per-target-column
+  packed :class:`~repro.matching.index.ValueIndex` live behind bounded
+  :class:`~repro.serve.cache.LRUCache` instances with hit/miss/eviction
+  counters; an evicted artifact is rebuilt (re-warmed) on its next request.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from collections.abc import Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.join.joiner import TransformationJoiner, target_values_key
+from repro.matching.index import ValueIndex
+from repro.model.artifact import TransformationModel
+from repro.model.serialization import ModelFormatError
+from repro.serve.cache import LRUCache
+from repro.serve.errors import BadRequestError, ModelLoadError, ModelNotFoundError
+
+#: Model names are file stems; reject anything that could escape the
+#: registry directory (separators, parent references) or hide as a dotfile.
+_SAFE_NAME = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+@dataclass(frozen=True)
+class ModelEntry:
+    """One loaded (or failed-to-load) model of the registry.
+
+    Immutable: a reload builds a fresh entry and swaps it in whole, which is
+    what makes the swap atomic for concurrent readers.
+    """
+
+    name: str
+    path: Path
+    mtime_ns: int
+    model: TransformationModel | None = None
+    error: BaseException | None = None
+
+
+class ModelRegistry:
+    """Load, cache, and hot-reload named transformation models.
+
+    Parameters
+    ----------
+    model_dir:
+        Directory of ``<name>.json`` model files.
+    joiner_cache_capacity / index_cache_capacity:
+        Bounds of the compiled-artifact caches (joiners keyed by
+        ``(name, mtime)``, target indexes keyed by the target values'
+        content digest).  Eviction is safe — the artifact is rebuilt on the
+        next request — so small bounds just trade latency for memory.
+    num_workers / min_rows_per_worker / task_timeout_s / shard_retries /
+    serial_fallback:
+        Apply-stage knobs threaded into every joiner the registry builds
+        (see :class:`~repro.join.joiner.TransformationJoiner`).
+    """
+
+    def __init__(
+        self,
+        model_dir: str | Path,
+        *,
+        joiner_cache_capacity: int = 16,
+        index_cache_capacity: int = 32,
+        num_workers: int | None = None,
+        min_rows_per_worker: int | None = None,
+        task_timeout_s: float = 0.0,
+        shard_retries: int = 2,
+        serial_fallback: bool = True,
+    ) -> None:
+        self._dir = Path(model_dir)
+        if not self._dir.is_dir():
+            raise ValueError(f"model directory {self._dir} does not exist")
+        self._entries: dict[str, ModelEntry] = {}
+        self._joiners = LRUCache(joiner_cache_capacity)
+        self._indexes = LRUCache(index_cache_capacity)
+        self._num_workers = num_workers
+        self._min_rows_per_worker = min_rows_per_worker
+        self._task_timeout_s = task_timeout_s
+        self._shard_retries = shard_retries
+        self._serial_fallback = serial_fallback
+        # One lock for the entry map; loads happen under it, so a model is
+        # read from disk once per change no matter how many requests race
+        # the reload.  Model files are small versioned JSON — holding the
+        # lock across a load is milliseconds, not a serving stall.
+        self._lock = threading.Lock()
+
+    @property
+    def model_dir(self) -> Path:
+        """The registry directory."""
+        return self._dir
+
+    # ------------------------------------------------------------------ #
+    # Lookup and reload
+    # ------------------------------------------------------------------ #
+    def model_names(self) -> list[str]:
+        """Sorted names of every model file currently in the directory."""
+        return sorted(
+            path.stem
+            for path in self._dir.glob("*.json")
+            if _SAFE_NAME.match(path.stem)
+        )
+
+    def get(self, name: str) -> ModelEntry:
+        """The current entry for *name*, loading or reloading as needed.
+
+        Raises :class:`BadRequestError` for unusable names,
+        :class:`ModelNotFoundError` when no such file exists, and
+        :class:`ModelLoadError` when the file cannot be parsed — the failed
+        entry is cached (keyed by mtime), so a broken artifact is not
+        re-parsed on every request, and fixing the file on disk clears the
+        error on the next lookup.
+        """
+        if not _SAFE_NAME.match(name):
+            raise BadRequestError(f"invalid model name {name!r}")
+        path = self._dir / f"{name}.json"
+        try:
+            mtime_ns = path.stat().st_mtime_ns
+        except OSError:
+            with self._lock:
+                self._entries.pop(name, None)
+            raise ModelNotFoundError(name) from None
+        with self._lock:
+            entry = self._entries.get(name)
+            if entry is None or entry.mtime_ns != mtime_ns:
+                entry = self._load(name, path, mtime_ns)
+                self._entries[name] = entry
+                # Compiled joiners of the replaced artifact are stale the
+                # moment the new entry is visible.
+                self._joiners.invalidate(
+                    lambda key: key[0] == name and key[1] != mtime_ns
+                )
+        if entry.error is not None:
+            raise ModelLoadError(name, entry.error)
+        return entry
+
+    @staticmethod
+    def _load(name: str, path: Path, mtime_ns: int) -> ModelEntry:
+        """Read one model file into a complete (immutable) entry."""
+        try:
+            model = TransformationModel.load(path)
+        except (ModelFormatError, OSError) as error:
+            return ModelEntry(name=name, path=path, mtime_ns=mtime_ns, error=error)
+        return ModelEntry(name=name, path=path, mtime_ns=mtime_ns, model=model)
+
+    # ------------------------------------------------------------------ #
+    # Warm compiled artifacts
+    # ------------------------------------------------------------------ #
+    def joiner_for(self, name: str) -> tuple[TransformationJoiner, ModelEntry, bool]:
+        """``(joiner, entry, cache_hit)`` for *name*'s current artifact.
+
+        The joiner is built fresh on a miss (deliberately *not* through the
+        model's own ``joiner()`` memo: that memo would keep an evicted
+        joiner alive, making the LRU bound meaningless) and carries the
+        registry's apply-stage knobs.  Its compiled trie and
+        most-recent-target index build lazily on first use, which is
+        exactly the cold-request cost the warm path skips.
+        """
+        entry = self.get(name)
+        model = entry.model
+        assert model is not None  # get() raised otherwise
+
+        def build() -> TransformationJoiner:
+            return TransformationJoiner(
+                model.transformations,
+                min_support=model.min_support,
+                coverage_counts=model.coverage_counts,
+                num_candidate_pairs=model.num_candidate_pairs,
+                case_insensitive=model.case_insensitive,
+                num_workers=self._num_workers,
+                min_rows_per_worker=self._min_rows_per_worker,
+                task_timeout_s=self._task_timeout_s,
+                shard_retries=self._shard_retries,
+                serial_fallback=self._serial_fallback,
+            )
+
+        joiner, hit = self._joiners.get_or_build((name, entry.mtime_ns), build)
+        return joiner, entry, hit
+
+    def target_index_for(
+        self, joiner: TransformationJoiner, target_values: Sequence[str]
+    ) -> tuple[ValueIndex, bool]:
+        """``(index, cache_hit)`` for a target column, keyed by content digest.
+
+        The key includes the joiner's normalization flag: a case-insensitive
+        model indexes lower-cased values, so it must never share an index
+        with a case-sensitive one even for byte-identical input.
+        """
+        key = (joiner.case_insensitive, target_values_key(target_values))
+        return self._indexes.get_or_build(
+            key, lambda: joiner.build_target_index(target_values)
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def list_models(self) -> list[dict]:
+        """One summary dict per model file, load errors included inline."""
+        summaries = []
+        for name in self.model_names():
+            try:
+                entry = self.get(name)
+            except ModelLoadError as error:
+                summaries.append(
+                    {"name": name, "ok": False, "error": str(error.cause)}
+                )
+                continue
+            except ModelNotFoundError:
+                continue  # deleted between the scan and the lookup
+            model = entry.model
+            assert model is not None
+            summaries.append(
+                {
+                    "name": name,
+                    "ok": True,
+                    "num_transformations": model.num_transformations,
+                    "num_candidate_pairs": model.num_candidate_pairs,
+                    "min_support": model.min_support,
+                    "case_insensitive": model.case_insensitive,
+                    "mtime_ns": entry.mtime_ns,
+                }
+            )
+        return summaries
+
+    def stats(self) -> dict:
+        """Cache counters plus the set of currently loaded/failed models."""
+        with self._lock:
+            loaded = sorted(
+                name
+                for name, entry in self._entries.items()
+                if entry.error is None
+            )
+            failed = sorted(
+                name
+                for name, entry in self._entries.items()
+                if entry.error is not None
+            )
+        return {
+            "model_dir": str(self._dir),
+            "models_loaded": loaded,
+            "models_failed": failed,
+            "joiner_cache": self._joiners.stats(),
+            "target_index_cache": self._indexes.stats(),
+        }
+
+
+__all__ = ["ModelEntry", "ModelRegistry"]

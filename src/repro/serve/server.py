@@ -1,0 +1,397 @@
+"""A long-lived, stdlib-only HTTP join server.
+
+``ThreadingHTTPServer`` + JSON — no dependency beyond the standard library.
+One server process keeps a :class:`~repro.serve.registry.ModelRegistry` of
+fitted models warm and exposes:
+
+``POST /join/<model>``
+    Body ``{"source": [...], "target": [...]}`` (lists of strings).  Joins
+    the source values against the target values with the named model's
+    transformations; the response carries the joined ``pairs`` (identical —
+    same pairs, same order — to offline
+    :meth:`~repro.join.pipeline.JoinPipeline.apply`), per-pair ``matched_by``
+    attribution, and whether the request was served warm.
+``GET /models``
+    The registry catalogue, per-model load errors included inline.
+``GET /stats``
+    Uptime, request/error totals, per-model latency quantiles (p50/p99 over
+    a sliding window) split warm/cold, registry cache counters, and
+    micro-batcher counters.
+``GET /healthz``
+    ``200 {"status": "ok"}`` while serving, ``503 {"status": "draining"}``
+    once shutdown has been requested.
+
+Failures map through the typed taxonomy of :mod:`repro.serve.errors` to
+4xx/5xx JSON bodies; a shard failure from the parallel layer
+(:class:`~repro.parallel.errors.ShardError`) surfaces as a 500 with its
+type name, never as a hung or half-written response.  ``SIGTERM``/``SIGINT``
+trigger a graceful drain: the accept loop stops, in-flight requests finish
+(handler threads are non-daemon and joined on close), and ``/healthz``
+flips to 503 so load balancers stop routing new traffic.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+
+from repro.parallel.errors import ShardError
+from repro.serve.engine import ServeEngine
+from repro.serve.errors import BadRequestError, ServeError
+from repro.serve.registry import ModelRegistry
+
+#: Sliding-window size of the per-model latency reservoirs.
+_LATENCY_WINDOW = 4096
+
+
+class LatencyStats:
+    """Thread-safe per-model latency tracker with warm/cold split.
+
+    Keeps exact totals plus a bounded sliding window of recent latencies
+    for quantiles — a long-lived server must not grow with request count,
+    and recent-window p50/p99 is what an operator actually watches.  The
+    first (cold) request's latency is pinned separately: it is the number
+    the warm path is measured against.
+    """
+
+    def __init__(self, window: int = _LATENCY_WINDOW) -> None:
+        self._lock = threading.Lock()
+        self._window = window
+        self._recent: list[float] = []
+        self._count = 0
+        self._warm_count = 0
+        self._total_s = 0.0
+        self._max_s = 0.0
+        self._first_s: float | None = None
+
+    def record(self, seconds: float, *, warm: bool) -> None:
+        with self._lock:
+            self._count += 1
+            self._warm_count += 1 if warm else 0
+            self._total_s += seconds
+            self._max_s = max(self._max_s, seconds)
+            if self._first_s is None:
+                self._first_s = seconds
+            self._recent.append(seconds)
+            if len(self._recent) > self._window:
+                del self._recent[: len(self._recent) - self._window]
+
+    @staticmethod
+    def _quantile(ordered: list[float], q: float) -> float:
+        return ordered[min(int(q * len(ordered)), len(ordered) - 1)]
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            recent = sorted(self._recent)
+            count = self._count
+            snapshot = {
+                "count": count,
+                "warm_count": self._warm_count,
+                "cold_count": count - self._warm_count,
+                "mean_ms": (self._total_s / count * 1000.0) if count else 0.0,
+                "max_ms": self._max_s * 1000.0,
+                "first_request_ms": (
+                    self._first_s * 1000.0 if self._first_s is not None else None
+                ),
+            }
+            if recent:
+                snapshot["p50_ms"] = self._quantile(recent, 0.50) * 1000.0
+                snapshot["p99_ms"] = self._quantile(recent, 0.99) * 1000.0
+            return snapshot
+
+
+class _JoinHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the serving state handlers read."""
+
+    # Graceful drain: handler threads must be joined on close, not
+    # abandoned mid-request.
+    daemon_threads = False
+    block_on_close = True
+    # A bounded accept backlog for bursty closed-loop clients.
+    request_queue_size = 64
+
+    def __init__(self, address: tuple[str, int], engine: ServeEngine) -> None:
+        super().__init__(address, _JoinRequestHandler)
+        self.engine = engine
+        self.draining = False
+        self.started_at = time.monotonic()
+        self.request_count = 0
+        self.error_count = 0
+        self.latency: dict[str, LatencyStats] = {}
+        self.stats_lock = threading.Lock()
+
+    def latency_for(self, model: str) -> LatencyStats:
+        with self.stats_lock:
+            stats = self.latency.get(model)
+            if stats is None:
+                stats = self.latency[model] = LatencyStats()
+            return stats
+
+    def count_request(self, *, error: bool) -> None:
+        with self.stats_lock:
+            self.request_count += 1
+            self.error_count += 1 if error else 0
+
+
+class _JoinRequestHandler(BaseHTTPRequestHandler):
+    server_version = "repro-serve/1.0"
+    protocol_version = "HTTP/1.1"
+    # TCP_NODELAY: headers and body go out as separate writes; with Nagle
+    # on, the second write of a small response stalls behind the peer's
+    # delayed ACK (~40ms on Linux) once the connection leaves quickack
+    # mode — a 40ms latency floor on every warm keep-alive request.
+    disable_nagle_algorithm = True
+    # Bound how long an idle keep-alive connection can hold a handler
+    # thread hostage during drain.
+    timeout = 10.0
+    server: _JoinHTTPServer  # narrowed for handler code
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    def do_GET(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        if self.path == "/healthz":
+            if self.server.draining:
+                self._respond(503, {"status": "draining"})
+            else:
+                self._respond(200, {"status": "ok"})
+            return
+        if self.path == "/models":
+            self._guarded(lambda: (200, {"models": self.server.engine.registry.list_models()}))
+            return
+        if self.path == "/stats":
+            self._guarded(lambda: (200, self._stats_payload()))
+            return
+        self._respond(
+            404, {"error": {"type": "NotFound", "message": f"no route {self.path}"}}
+        )
+
+    def do_POST(self) -> None:  # noqa: N802 - BaseHTTPRequestHandler API
+        if not self.path.startswith("/join/"):
+            self._respond(
+                404,
+                {"error": {"type": "NotFound", "message": f"no route {self.path}"}},
+            )
+            return
+        model_name = self.path[len("/join/") :]
+        self._guarded(lambda: self._handle_join(model_name))
+
+    # ------------------------------------------------------------------ #
+    # Handlers
+    # ------------------------------------------------------------------ #
+    def _handle_join(self, model_name: str) -> tuple[int, dict]:
+        source_values, target_values = self._read_join_body()
+        started = time.perf_counter()
+        response = self.server.engine.join(model_name, source_values, target_values)
+        elapsed = time.perf_counter() - started
+        self.server.latency_for(model_name).record(elapsed, warm=response.warm)
+        return 200, response.to_payload()
+
+    def _read_join_body(self) -> tuple[list[str], list[str]]:
+        """Parse and validate the request body; raises :class:`BadRequestError`."""
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            raise BadRequestError("invalid Content-Length header") from None
+        if length <= 0:
+            raise BadRequestError("request body required")
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise BadRequestError(f"request body is not valid JSON: {error}") from None
+        if not isinstance(payload, dict):
+            raise BadRequestError("request body must be a JSON object")
+        values: dict[str, list[str]] = {}
+        for field in ("source", "target"):
+            column = payload.get(field)
+            if not isinstance(column, list) or not all(
+                isinstance(value, str) for value in column
+            ):
+                raise BadRequestError(
+                    f"field {field!r} must be a list of strings"
+                )
+            values[field] = column
+        return values["source"], values["target"]
+
+    def _stats_payload(self) -> dict:
+        server = self.server
+        with server.stats_lock:
+            requests = server.request_count
+            errors = server.error_count
+            latencies = {
+                name: stats for name, stats in server.latency.items()
+            }
+        return {
+            "uptime_s": time.monotonic() - server.started_at,
+            "requests": requests,
+            "errors": errors,
+            "draining": server.draining,
+            "engine": server.engine.stats(),
+            "models": {
+                name: stats.snapshot() for name, stats in latencies.items()
+            },
+        }
+
+    # ------------------------------------------------------------------ #
+    # Error mapping and plumbing
+    # ------------------------------------------------------------------ #
+    def _guarded(self, handler) -> None:
+        """Run a route handler, mapping the typed taxonomy to 4xx/5xx JSON."""
+        try:
+            status, payload = handler()
+        except ServeError as error:
+            self.server.count_request(error=True)
+            self._respond(error.status, error.payload())
+            return
+        except ShardError as error:
+            # The parallel layer's typed failures (crash, timeout with the
+            # serial fallback disabled) are server-side: 500, with the
+            # precise type preserved for the client.
+            self.server.count_request(error=True)
+            self._respond(
+                500,
+                {"error": {"type": type(error).__name__, "message": str(error)}},
+            )
+            return
+        except Exception as error:  # noqa: BLE001 - must answer, not hang
+            self.server.count_request(error=True)
+            self._respond(
+                500,
+                {"error": {"type": "InternalError", "message": str(error)}},
+            )
+            return
+        self.server.count_request(error=False)
+        self._respond(status, payload)
+
+    def _respond(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        if self.server.draining:
+            self.send_header("Connection", "close")
+            self.close_connection = True
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        """Per-request stderr logging off by default; /stats observes instead."""
+
+
+class JoinServer:
+    """The long-lived join-serving process, wrapped for library and CLI use.
+
+    Composes registry → engine → threaded HTTP server.  ``port=0`` binds an
+    ephemeral port (tests and the in-process load benchmark use this);
+    ``address`` reports the bound one.
+    """
+
+    def __init__(
+        self,
+        model_dir: str | Path,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        num_workers: int | None = None,
+        min_rows_per_worker: int | None = None,
+        joiner_cache_capacity: int = 16,
+        index_cache_capacity: int = 32,
+        micro_batch: bool = True,
+        max_batch_size: int = 32,
+        max_batch_wait_s: float = 0.002,
+        task_timeout_s: float = 0.0,
+        shard_retries: int = 2,
+        serial_fallback: bool = True,
+    ) -> None:
+        self.registry = ModelRegistry(
+            model_dir,
+            joiner_cache_capacity=joiner_cache_capacity,
+            index_cache_capacity=index_cache_capacity,
+            num_workers=num_workers,
+            min_rows_per_worker=min_rows_per_worker,
+            task_timeout_s=task_timeout_s,
+            shard_retries=shard_retries,
+            serial_fallback=serial_fallback,
+        )
+        self.engine = ServeEngine(
+            self.registry,
+            micro_batch=micro_batch,
+            max_batch_size=max_batch_size,
+            max_batch_wait_s=max_batch_wait_s,
+        )
+        self._http = _JoinHTTPServer((host, port), self.engine)
+        self._serve_thread: threading.Thread | None = None
+        self._shutdown_started = threading.Event()
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — port resolved when 0 was requested."""
+        host, port = self._http.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def serve_forever(self) -> None:
+        """Serve until :meth:`request_shutdown` (or a handled signal)."""
+        self._http.serve_forever(poll_interval=0.05)
+
+    def start_background(self) -> None:
+        """Serve from a background thread (tests, in-process benchmarks)."""
+        if self._serve_thread is not None:
+            raise RuntimeError("server already started")
+        self._serve_thread = threading.Thread(
+            target=self.serve_forever, name="repro-serve", daemon=True
+        )
+        self._serve_thread.start()
+
+    def request_shutdown(self) -> None:
+        """Begin a graceful drain: stop accepting, let in-flight finish.
+
+        Safe to call from any thread and from signal handlers; idempotent.
+        ``shutdown()`` must not run on the serve_forever thread itself, so
+        it is dispatched to a helper thread.
+        """
+        if self._shutdown_started.is_set():
+            return
+        self._shutdown_started.set()
+        self._http.draining = True
+        threading.Thread(
+            target=self._http.shutdown, name="repro-serve-shutdown", daemon=True
+        ).start()
+
+    def install_signal_handlers(self) -> None:
+        """Map SIGTERM/SIGINT to the graceful drain (CLI entry point)."""
+
+        def _drain(signum, frame) -> None:  # noqa: ARG001 - signal API
+            self.request_shutdown()
+
+        signal.signal(signal.SIGTERM, _drain)
+        signal.signal(signal.SIGINT, _drain)
+
+    def close(self) -> None:
+        """Drain, stop the accept loop, and join handler threads."""
+        self.request_shutdown()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=30.0)
+            self._serve_thread = None
+        self._http.server_close()
+
+    def __enter__(self) -> "JoinServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+__all__ = ["JoinServer", "LatencyStats"]

@@ -1,0 +1,156 @@
+"""Integration tests for the HTTP join service.
+
+The acceptance bar: ``POST /join/<model>`` must return exactly the pairs
+(content *and* order) that the offline ``JoinPipeline.apply`` path computes,
+with the server running serially and with the apply stage sharded across
+worker processes.
+"""
+
+from __future__ import annotations
+
+import json
+from http.client import HTTPConnection
+
+import pytest
+
+from repro.datasets.synthetic import SyntheticConfig, generate_table_pair
+from repro.join.pipeline import JoinPipeline
+from repro.serve import JoinServer
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    """One synthetic table pair and the model fitted on it."""
+    pair, _ = generate_table_pair(SyntheticConfig(num_rows=200, seed=7))
+    model = JoinPipeline(min_support=0.05).fit(
+        pair.source, pair.target, source_column="value", target_column="value"
+    )
+    return pair, model
+
+
+@pytest.fixture(scope="module")
+def model_dir(fitted, tmp_path_factory):
+    _, model = fitted
+    directory = tmp_path_factory.mktemp("models")
+    model.save(directory / "synth.json")
+    return directory
+
+
+def post_join(server: JoinServer, name: str, body: dict) -> tuple[int, dict]:
+    host, port = server.address
+    connection = HTTPConnection(host, port, timeout=60)
+    try:
+        connection.request(
+            "POST",
+            f"/join/{name}",
+            json.dumps(body).encode("utf-8"),
+            {"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+def get(server: JoinServer, path: str) -> tuple[int, dict]:
+    host, port = server.address
+    connection = HTTPConnection(host, port, timeout=60)
+    try:
+        connection.request("GET", path)
+        response = connection.getresponse()
+        return response.status, json.loads(response.read())
+    finally:
+        connection.close()
+
+
+@pytest.mark.parametrize(
+    "server_kwargs",
+    [
+        pytest.param({"num_workers": 1}, id="serial"),
+        # min_rows_per_worker=0 disables the small-input serial fallback so
+        # 200 rows genuinely shard across the two worker processes.
+        pytest.param({"num_workers": 2, "min_rows_per_worker": 0}, id="sharded"),
+    ],
+)
+def test_served_join_is_byte_identical_to_offline_apply(
+    fitted, model_dir, server_kwargs
+):
+    pair, model = fitted
+    offline = JoinPipeline().apply(
+        model,
+        pair.source,
+        pair.target,
+        source_column="value",
+        target_column="value",
+    )
+    expected_pairs = [list(join_pair) for join_pair in offline.join.pairs]
+    body = {
+        "source": list(pair.source["value"]),
+        "target": list(pair.target["value"]),
+    }
+    with JoinServer(model_dir, port=0, **server_kwargs) as server:
+        server.start_background()
+        status, payload = post_join(server, "synth", body)
+        assert status == 200
+        assert payload["pairs"] == expected_pairs
+        assert payload["num_pairs"] == offline.join.num_pairs
+        assert payload["warm"] is False
+        # Same request again: warm, still identical.
+        status, payload = post_join(server, "synth", body)
+        assert status == 200
+        assert payload["pairs"] == expected_pairs
+        assert payload["warm"] is True
+
+
+def test_error_mapping_and_introspection_endpoints(model_dir):
+    with JoinServer(model_dir, port=0) as server:
+        server.start_background()
+
+        status, payload = get(server, "/healthz")
+        assert status == 200
+        assert payload["status"] == "ok"
+
+        status, payload = get(server, "/models")
+        assert status == 200
+        names = [entry["name"] for entry in payload["models"]]
+        assert names == ["synth"]
+
+        status, payload = post_join(
+            server, "missing", {"source": ["a"], "target": ["b"]}
+        )
+        assert status == 404
+        assert payload["error"]["type"] == "ModelNotFoundError"
+
+        status, payload = post_join(server, "synth", {"source": ["a"]})
+        assert status == 400
+        assert payload["error"]["type"] == "BadRequestError"
+
+        status, payload = post_join(
+            server, "../escape", {"source": ["a"], "target": ["b"]}
+        )
+        # The unsafe-name guard rejects traversal before any path lookup.
+        assert status == 400
+        assert payload["error"]["type"] == "BadRequestError"
+
+        status, _ = post_join(server, "synth", {"source": ["a"], "target": ["a"]})
+        assert status == 200
+
+        status, payload = get(server, "/stats")
+        assert status == 200
+        assert payload["requests"] >= 1
+        assert payload["errors"] >= 3  # the 404 and the two 400s above
+        assert "registry" in payload["engine"]
+        snapshot = payload["models"]["synth"]
+        assert snapshot["count"] >= 1
+        assert snapshot["first_request_ms"] is not None
+
+
+def test_drain_stops_the_serve_loop_and_flips_healthz(model_dir):
+    server = JoinServer(model_dir, port=0)
+    server.start_background()
+    thread = server._serve_thread
+    assert thread is not None and thread.is_alive()
+    server.request_shutdown()
+    thread.join(timeout=10)
+    assert not thread.is_alive()
+    server.close()

@@ -446,3 +446,30 @@ class TestBenchmarkCommand:
         table = read_csv(written[0])
         assert isinstance(table, Table)
         assert "wrote" in capsys.readouterr().out
+
+
+class TestServeCommand:
+    def test_serve_arguments_parse(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "models",
+                "--port",
+                "0",
+                "--num-workers",
+                "2",
+                "--joiner-cache",
+                "8",
+                "--no-micro-batch",
+            ]
+        )
+        assert args.command == "serve"
+        assert args.port == 0
+        assert args.num_workers == 2
+        assert args.joiner_cache == 8
+        assert args.no_micro_batch is True
+
+    def test_serve_rejects_missing_model_dir(self, tmp_path, capsys):
+        exit_code = main(["serve", str(tmp_path / "nowhere"), "--port", "0"])
+        assert exit_code == 1
+        assert "not found" in capsys.readouterr().err

@@ -398,3 +398,91 @@ class TestCli:
             str(tmp_path / "nowhere"),
         ]
         assert main(args) == 1
+
+
+def good_serve_payload() -> dict:
+    """A minimal payload that passes every serve validation check."""
+    return {
+        "benchmark": "serve",
+        "cold": {
+            "first_request_s": 0.02,
+            "response_ok": True,
+            "warm_probe_s": 0.004,
+            "warm_probe_ok": True,
+        },
+        "levels": [
+            {
+                "concurrency": 1,
+                "requests": 50,
+                "errors": 0,
+                "duration_s": 1.0,
+                "rps": 50.0,
+                "verified_responses": 4,
+                "matches_offline": True,
+                "latency": {
+                    "mean_s": 0.005,
+                    "p50_s": 0.005,
+                    "p99_s": 0.009,
+                    "max_s": 0.010,
+                },
+            }
+        ],
+        "warm_vs_cold": {
+            "cold_first_request_s": 0.02,
+            "warm_p50_s": 0.005,
+            "warm_below_cold": True,
+        },
+    }
+
+
+class TestValidateServePayload:
+    def test_good_payload_passes(self):
+        assert validate_payload(good_serve_payload()) == []
+
+    def test_dispatches_through_validate_payload(self):
+        # A serve payload must not be judged by the training-ladder rules.
+        problems = validate_payload({"benchmark": "serve"})
+        assert problems
+        assert all("rung" not in problem for problem in problems)
+
+    def test_flags_cold_failures(self):
+        payload = good_serve_payload()
+        payload["cold"]["response_ok"] = False
+        payload["cold"]["warm_probe_ok"] = False
+        problems = validate_payload(payload)
+        assert any("first response" in problem for problem in problems)
+        assert any("warm probe" in problem for problem in problems)
+
+    def test_flags_level_errors_and_mismatches(self):
+        payload = good_serve_payload()
+        payload["levels"][0]["errors"] = 3
+        payload["levels"][0]["matches_offline"] = False
+        problems = validate_payload(payload)
+        assert any("request errors" in problem for problem in problems)
+        assert any("identical to offline" in problem for problem in problems)
+
+    def test_flags_missing_latency_and_inverted_quantiles(self):
+        payload = good_serve_payload()
+        del payload["levels"][0]["latency"]
+        assert any(
+            "no latency summary" in problem
+            for problem in validate_payload(payload)
+        )
+        payload = good_serve_payload()
+        payload["levels"][0]["latency"]["p99_s"] = 0.001
+        assert any("p99 below p50" in problem for problem in validate_payload(payload))
+
+    def test_flags_warm_not_below_cold(self):
+        payload = good_serve_payload()
+        payload["warm_vs_cold"]["warm_below_cold"] = False
+        assert any(
+            "warm p50" in problem for problem in validate_payload(payload)
+        )
+
+    def test_flags_empty_levels(self):
+        payload = good_serve_payload()
+        payload["levels"] = []
+        assert any(
+            "no concurrency levels" in problem
+            for problem in validate_payload(payload)
+        )

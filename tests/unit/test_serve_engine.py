@@ -1,0 +1,238 @@
+"""Unit tests for the serving engine: streaming apply, micro-batching, and
+thread-safe concurrent serving."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+import repro.join.joiner as joiner_module
+from repro.core.discovery import TransformationDiscovery
+from repro.model.artifact import TransformationModel
+from repro.serve.engine import MicroBatcher, ServeEngine, apply_iter
+from repro.serve.errors import ModelNotFoundError
+from repro.serve.registry import ModelRegistry
+
+
+def fit_model(pairs: list[tuple[str, str]]) -> TransformationModel:
+    engine = TransformationDiscovery()
+    result = engine.discover_from_strings(pairs)
+    return TransformationModel.from_discovery(
+        result, config=engine.config, min_support=0.05
+    )
+
+
+@pytest.fixture
+def model(name_initial_pairs) -> TransformationModel:
+    return fit_model(name_initial_pairs)
+
+
+@pytest.fixture
+def columns(name_initial_pairs) -> tuple[list[str], list[str]]:
+    sources = [source for source, _ in name_initial_pairs]
+    targets = [target for _, target in name_initial_pairs]
+    return sources, targets
+
+
+@pytest.fixture
+def engine(tmp_path, model) -> ServeEngine:
+    model.save(tmp_path / "names.json")
+    return ServeEngine(ModelRegistry(tmp_path))
+
+
+class TestApplyIter:
+    def test_results_match_per_batch_fresh_joiners(self, model, columns):
+        sources, targets = columns
+        batches = [
+            (sources[:2], targets),
+            (sources[2:], targets),
+            (sources, targets[:3]),
+        ]
+        streamed = list(apply_iter(model, batches))
+        for (batch_sources, batch_targets), result in zip(batches, streamed):
+            expected = model.joiner().join_values(batch_sources, batch_targets)
+            assert result.pairs == expected.pairs
+            assert result.matched_by == expected.matched_by
+
+    def test_compiles_the_trie_exactly_once(
+        self, model, columns, monkeypatch
+    ):
+        sources, targets = columns
+        original = joiner_module.TransformationApplier
+        builds = []
+
+        def counting(transformations):
+            builds.append(1)
+            return original(transformations)
+
+        monkeypatch.setattr(joiner_module, "TransformationApplier", counting)
+        batches = [(sources, targets)] * 4
+        results = list(apply_iter(model, batches))
+        assert len(results) == 4
+        assert len(builds) == 1
+
+
+class TestMicroBatcher:
+    def test_single_request_executes_alone(self):
+        def execute(key, requests):
+            return [(("ran", request.source_values), True) for request in requests]
+
+        batcher = MicroBatcher(execute, max_wait_s=0.0)
+        result, warm, size = batcher.submit("k", ["a"], ["t"])
+        assert result == ("ran", ["a"])
+        assert warm is True
+        assert size == 1
+        assert batcher.stats()["batches_executed"] == 1
+
+    def test_concurrent_same_key_requests_coalesce(self):
+        executions = []
+
+        def execute(key, requests):
+            executions.append(len(requests))
+            return [(tuple(request.source_values), False) for request in requests]
+
+        batcher = MicroBatcher(execute, max_wait_s=0.2)
+        clients = 4
+        barrier = threading.Barrier(clients)
+        results = [None] * clients
+
+        def client(index: int) -> None:
+            barrier.wait()
+            results[index] = batcher.submit("k", [f"s{index}"], ["t"])
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Every caller got exactly its own rows back.
+        for index in range(clients):
+            result, _, size = results[index]
+            assert result == (f"s{index}",)
+            assert 1 <= size <= clients
+        # With a generous window the batch must actually have coalesced.
+        assert batcher.stats()["coalesced_requests"] >= 2
+        assert sum(executions) == clients
+
+    def test_execute_error_propagates_to_every_caller(self):
+        def execute(key, requests):
+            raise RuntimeError("boom")
+
+        batcher = MicroBatcher(execute, max_wait_s=0.0)
+        with pytest.raises(RuntimeError, match="boom"):
+            batcher.submit("k", ["a"], ["t"])
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda key, requests: [], max_batch_size=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(lambda key, requests: [], max_wait_s=-1.0)
+
+
+class TestServeEngine:
+    def test_response_is_byte_identical_to_offline_apply(
+        self, engine, model, columns
+    ):
+        sources, targets = columns
+        offline = model.joiner().join_values(sources, targets)
+        response = engine.join("names", sources, targets)
+        assert response.pairs == offline.pairs
+        assert response.matched_by == [
+            repr(offline.matched_by[pair]) for pair in offline.pairs
+        ]
+        assert response.coalesced == 1
+        payload = response.to_payload()
+        assert payload["num_pairs"] == offline.num_pairs
+        assert payload["pairs"] == [list(pair) for pair in offline.pairs]
+
+    def test_second_request_is_warm(self, engine, columns):
+        sources, targets = columns
+        assert engine.join("names", sources, targets).warm is False
+        assert engine.join("names", sources, targets).warm is True
+
+    def test_unknown_model_raises_through_the_batcher(self, engine, columns):
+        sources, targets = columns
+        with pytest.raises(ModelNotFoundError):
+            engine.join("missing", sources, targets)
+
+    def test_coalesced_split_matches_solo_responses(self, engine, model, columns):
+        """The micro-batch split must be byte-identical to solo requests."""
+        sources, targets = columns
+        solo = {
+            index: model.joiner().join_values(sources[index : index + 2], targets)
+            for index in range(len(sources) - 1)
+        }
+        clients = len(solo)
+        barrier = threading.Barrier(clients)
+        responses = [None] * clients
+        errors = []
+
+        def client(index: int) -> None:
+            try:
+                barrier.wait()
+                responses[index] = engine.join(
+                    "names", sources[index : index + 2], targets
+                )
+            except BaseException as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        threads = [threading.Thread(target=client, args=(i,)) for i in range(clients)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        for index, response in enumerate(responses):
+            expected = solo[index]
+            assert response.pairs == expected.pairs
+            assert response.matched_by == [
+                repr(expected.matched_by[pair]) for pair in expected.pairs
+            ]
+
+    def test_concurrent_mixed_requests_equal_serial(self, engine, model, columns):
+        """Thread-safety equivalence: hammer one engine from many threads with
+        two different target columns; every response equals its serial twin."""
+        sources, targets = columns
+        other_targets = targets[:3]
+        expected = {
+            id(targets): model.joiner().join_values(sources, targets),
+            id(other_targets): model.joiner().join_values(sources, other_targets),
+        }
+        rounds = 5
+        workers = 8
+        failures = []
+
+        def worker(seed: int) -> None:
+            for round_index in range(rounds):
+                chosen = targets if (seed + round_index) % 2 == 0 else other_targets
+                response = engine.join("names", sources, chosen)
+                if response.pairs != expected[id(chosen)].pairs:
+                    failures.append((seed, round_index))
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert failures == []
+        stats = engine.stats()
+        assert stats["micro_batcher"]["requests"] >= rounds * workers
+        assert stats["registry"]["joiner_cache"]["hits"] >= 1
+
+    def test_micro_batch_off_still_serves(self, tmp_path, model, columns):
+        sources, targets = columns
+        model.save(tmp_path / "names.json")
+        engine = ServeEngine(ModelRegistry(tmp_path), micro_batch=False)
+        offline = model.joiner().join_values(sources, targets)
+        response = engine.join("names", sources, targets)
+        assert response.pairs == offline.pairs
+        assert response.coalesced == 1
+
+    def test_engine_apply_iter_uses_registry_caches(self, engine, columns):
+        sources, targets = columns
+        batches = [(sources[:2], targets), (sources[2:], targets)]
+        results = list(engine.apply_iter("names", batches))
+        assert len(results) == 2
+        stats = engine.stats()["registry"]
+        assert stats["target_index_cache"]["hits"] >= 1
