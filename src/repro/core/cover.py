@@ -39,6 +39,7 @@ from repro.core.coverage import (
     mask_from_rows,
     rows_from_mask,
 )
+from repro.kernels.bitset import popcounts, union_masks
 
 __all__ = [
     "cover_fraction",
@@ -120,13 +121,19 @@ def greedy_minimal_cover(
     # and the pop order below the index exactly mirrors the reference scan's
     # first-wins tie-breaking.
     heap: list[tuple] = []
+    masks = [result.covered_mask for result in results]
+    # The round-0 upper bounds are plain popcounts over every candidate at
+    # once — the batched kernel op (per-byte table lookups under the numpy
+    # tier) replaces len(results) scattered bit_count calls.
+    gains = popcounts(masks)
     for index, result in enumerate(results):
-        mask = result.covered_mask
-        gain = mask.bit_count()
+        gain = gains[index]
         if gain < min_support:
             continue
         placeholders, length, rendering = _selection_key(result)
-        heap.append((-gain, placeholders, length, rendering, index, 0, mask, result))
+        heap.append(
+            (-gain, placeholders, length, rendering, index, 0, masks[index], result)
+        )
     heapq.heapify(heap)
 
     covered = 0
@@ -208,11 +215,13 @@ def greedy_minimal_cover_reference(
 
 
 def covered_mask(results: Sequence[CoverageResult]) -> int:
-    """Union of the covered-row bitmasks of *results*."""
-    union = 0
-    for result in results:
-        union |= result.covered_mask
-    return union
+    """Union of the covered-row bitmasks of *results*.
+
+    Delegates to the kernel tier's batched union
+    (:func:`repro.kernels.bitset.union_masks`): a byte-matrix ``bitwise_or``
+    reduction under the numpy tier, the plain ``|`` fold otherwise.
+    """
+    return union_masks([result.covered_mask for result in results])
 
 
 def covered_rows(results: Sequence[CoverageResult]) -> frozenset[int]:

@@ -1,0 +1,208 @@
+"""Bitset kernels over packed covered-row masks.
+
+Covered-row sets are arbitrary-precision Python ints (bit *r* = row *r*,
+little-endian bytes), the currency of the CELF cover selection in
+:mod:`repro.core.cover` and the joiner's support filter.  The ops here —
+pack, materialize, union, popcount — each have a pure-Python reference and a
+numpy implementation working on the masks' byte representation
+(``np.packbits``/``np.unpackbits``/``np.bitwise_or.reduce``), asserted
+value-identical by the kernel property tests.
+
+Dispatch goes through :func:`repro.kernels.active_tier`; inside the numpy
+tier small inputs still take the Python path (the ``_NP_MIN_*`` cutoffs) —
+a scheduling decision only, the returned values never depend on it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.kernels import numpy_or_none
+
+#: Below these sizes the fixed cost of the int<->ndarray conversions exceeds
+#: the vector win; the dispatchers fall back to the Python reference.
+_NP_MIN_ROWS = 512
+_NP_MIN_MASK_BYTES = 256
+
+
+# --------------------------------------------------------------------------- #
+# Pure-Python references (the spec)
+# --------------------------------------------------------------------------- #
+def mask_from_rows_py(rows: Iterable[int]) -> int:
+    """Pack non-negative row ids into an integer bitmask (bit r = row r)."""
+    rows = list(rows)
+    if not rows:
+        return 0
+    buffer = bytearray((max(rows) >> 3) + 1)
+    for row in rows:
+        buffer[row >> 3] |= 1 << (row & 7)
+    return int.from_bytes(buffer, "little")
+
+
+def rows_from_mask_py(mask: int) -> list[int]:
+    """The set bits of *mask* as an ascending list of row ids."""
+    if mask == 0:
+        return []
+    if mask < 0:
+        raise ValueError(f"row masks must be non-negative, got {mask}")
+    data = mask.to_bytes((mask.bit_length() + 7) >> 3, "little")
+    rows: list[int] = []
+    append = rows.append
+    for byte_index, byte in enumerate(data):
+        if byte:
+            base = byte_index << 3
+            while byte:
+                low = byte & -byte
+                append(base + low.bit_length() - 1)
+                byte ^= low
+    return rows
+
+
+def union_masks_py(masks: Iterable[int]) -> int:
+    """Bitwise union of *masks*."""
+    union = 0
+    for mask in masks:
+        union |= mask
+    return union
+
+
+def popcounts_py(masks: Sequence[int]) -> list[int]:
+    """Per-mask set-bit counts."""
+    return [mask.bit_count() for mask in masks]
+
+
+# --------------------------------------------------------------------------- #
+# numpy implementations
+# --------------------------------------------------------------------------- #
+def mask_from_rows_np(rows: Iterable[int]) -> int:
+    """numpy :func:`mask_from_rows_py`: scatter into a bit table, pack."""
+    np = numpy_or_none()
+    assert np is not None
+    row_arr = np.asarray(list(rows) if not hasattr(rows, "__len__") else rows)
+    if row_arr.size == 0:
+        return 0
+    bits = np.zeros(int(row_arr.max()) + 1, dtype=np.uint8)
+    bits[row_arr] = 1
+    packed = np.packbits(bits, bitorder="little")
+    return int.from_bytes(packed.tobytes(), "little")
+
+
+def rows_from_mask_np(mask: int) -> list[int]:
+    """numpy :func:`rows_from_mask_py`: unpack bits, report the set indices."""
+    np = numpy_or_none()
+    assert np is not None
+    if mask == 0:
+        return []
+    if mask < 0:
+        raise ValueError(f"row masks must be non-negative, got {mask}")
+    data = np.frombuffer(
+        mask.to_bytes((mask.bit_length() + 7) >> 3, "little"), dtype=np.uint8
+    )
+    bits = np.unpackbits(data, bitorder="little")
+    return np.flatnonzero(bits).tolist()
+
+
+def union_masks_np(masks: Sequence[int]) -> int:
+    """numpy :func:`union_masks_py`: byte-matrix ``bitwise_or`` reduction."""
+    np = numpy_or_none()
+    assert np is not None
+    masks = list(masks)
+    if not masks:
+        return 0
+    width = max((mask.bit_length() + 7) >> 3 for mask in masks)
+    if width == 0:
+        return 0
+    table = np.zeros((len(masks), width), dtype=np.uint8)
+    for index, mask in enumerate(masks):
+        data = mask.to_bytes((mask.bit_length() + 7) >> 3, "little")
+        table[index, : len(data)] = np.frombuffer(data, dtype=np.uint8)
+    union = np.bitwise_or.reduce(table, axis=0)
+    return int.from_bytes(union.tobytes(), "little")
+
+
+def popcounts_np(masks: Sequence[int]) -> list[int]:
+    """numpy :func:`popcounts_py`: per-byte popcount table, summed per mask."""
+    np = numpy_or_none()
+    assert np is not None
+    table = _byte_popcount_table(np)
+    counts: list[int] = []
+    for mask in masks:
+        if mask == 0:
+            counts.append(0)
+            continue
+        data = np.frombuffer(
+            mask.to_bytes((mask.bit_length() + 7) >> 3, "little"), dtype=np.uint8
+        )
+        counts.append(int(table[data].sum()))
+    return counts
+
+
+_POPCOUNT_TABLE = None
+
+
+def _byte_popcount_table(np):  # type: ignore[no-untyped-def]
+    global _POPCOUNT_TABLE
+    if _POPCOUNT_TABLE is None:
+        _POPCOUNT_TABLE = np.array(
+            [bin(byte).count("1") for byte in range(256)], dtype=np.uint16
+        )
+    return _POPCOUNT_TABLE
+
+
+# --------------------------------------------------------------------------- #
+# Tier dispatchers
+# --------------------------------------------------------------------------- #
+def mask_from_rows(rows: Iterable[int]) -> int:
+    """Pack row ids into a bitmask via the active kernel tier."""
+    rows = rows if isinstance(rows, list) else list(rows)
+    if numpy_or_none() is not None and len(rows) >= _NP_MIN_ROWS:
+        return mask_from_rows_np(rows)
+    return mask_from_rows_py(rows)
+
+
+def rows_from_mask(mask: int) -> list[int]:
+    """Materialize a bitmask's row ids via the active kernel tier."""
+    if (
+        numpy_or_none() is not None
+        and mask > 0
+        and ((mask.bit_length() + 7) >> 3) >= _NP_MIN_MASK_BYTES
+    ):
+        return rows_from_mask_np(mask)
+    return rows_from_mask_py(mask)
+
+
+def union_masks(masks: Iterable[int]) -> int:
+    """Union of covered-row masks via the active kernel tier."""
+    masks = masks if isinstance(masks, list) else list(masks)
+    if numpy_or_none() is not None and len(masks) >= _NP_MIN_ROWS:
+        return union_masks_np(masks)
+    return union_masks_py(masks)
+
+
+def popcounts(masks: Sequence[int]) -> list[int]:
+    """Per-mask popcounts via the active kernel tier.
+
+    ``int.bit_count`` is already a C primitive, so the Python path wins for
+    short masks; the byte-table path takes over for wide ones.
+    """
+    if numpy_or_none() is not None and masks:
+        widest = max(mask.bit_length() for mask in masks) >> 3
+        if widest >= _NP_MIN_MASK_BYTES and len(masks) >= 8:
+            return popcounts_np(masks)
+    return popcounts_py(masks)
+
+
+__all__ = [
+    "mask_from_rows",
+    "mask_from_rows_np",
+    "mask_from_rows_py",
+    "popcounts",
+    "popcounts_np",
+    "popcounts_py",
+    "rows_from_mask",
+    "rows_from_mask_np",
+    "rows_from_mask_py",
+    "union_masks",
+    "union_masks_np",
+    "union_masks_py",
+]

@@ -1,0 +1,183 @@
+"""Block-level candidate kernels of the coverage/apply walkers.
+
+Each op here is the vectorized form of one inner-loop step of the reference
+walkers (:func:`repro.core.coverage._walk_trie_rows` /
+:func:`repro.model.apply.transform_trie_rows`), paired with a pure-Python
+dual computing exactly the same values.  The property tests assert the duals
+elementwise; the numpy block walkers (:mod:`repro.kernels.coverage`,
+:mod:`repro.kernels.apply`) inline the same expressions in their hot loops —
+these named forms are the specification (and the test surface) of what those
+loops compute per edge:
+
+* :func:`partition_statuses` — split an edge's candidate rows by the per-unit
+  memo state column (0 unknown / 1 output present / 2 known ``None``);
+* :func:`startswith_at` — the positional prefix check at per-row offsets;
+* :func:`find_positions` — first occurrence of each row's unit output in its
+  target (containment *and* position in one op);
+* :func:`slice_cuts` — the sorted-slice-group bisect over piece lengths;
+* :func:`slice_pieces` / :func:`str_lengths` — batched slicing / lengths.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections.abc import Sequence
+
+from repro.kernels import numpy_or_none
+
+#: Memo-state codes of the per-unit block columns (one byte per row):
+#: the vectorized counterpart of the reference walker's ``False``/value/
+#: ``None`` unit-output memo cells.
+STATE_UNKNOWN = 0
+STATE_OK = 1
+STATE_NONE = 2
+
+
+def partition_statuses_py(
+    statuses: Sequence[int],
+) -> tuple[list[int], list[int], int]:
+    """Partition candidate positions by memo state.
+
+    Returns ``(unknown_positions, ok_positions, none_count)`` over the
+    positions of *statuses* — the classification an edge visit performs on
+    its candidate rows before evaluating, descending, or bulk-skipping.
+    """
+    unknown: list[int] = []
+    ok: list[int] = []
+    nones = 0
+    for position, status in enumerate(statuses):
+        if status == STATE_UNKNOWN:
+            unknown.append(position)
+        elif status == STATE_OK:
+            ok.append(position)
+        else:
+            nones += 1
+    return unknown, ok, nones
+
+
+def partition_statuses_np(
+    statuses: Sequence[int],
+) -> tuple[list[int], list[int], int]:
+    """numpy :func:`partition_statuses_py`."""
+    np = numpy_or_none()
+    assert np is not None
+    arr = np.asarray(statuses, dtype=np.uint8)
+    unknown = np.flatnonzero(arr == STATE_UNKNOWN)
+    ok = np.flatnonzero(arr == STATE_OK)
+    return unknown.tolist(), ok.tolist(), int((arr == STATE_NONE).sum())
+
+
+def startswith_at_py(
+    targets: Sequence[str], prefixes: Sequence[str], starts: Sequence[int]
+) -> list[bool]:
+    """Per-row ``target.startswith(prefix, start)`` — the positional check."""
+    return [
+        target.startswith(prefix, start)
+        for target, prefix, start in zip(targets, prefixes, starts)
+    ]
+
+
+def startswith_at_np(
+    targets: Sequence[str], prefixes: Sequence[str], starts: Sequence[int]
+) -> list[bool]:
+    """numpy :func:`startswith_at_py`."""
+    np = numpy_or_none()
+    assert np is not None
+    from numpy.dtypes import StringDType
+
+    dtype = StringDType()
+    return np.strings.startswith(
+        np.asarray(targets, dtype=dtype),
+        np.asarray(prefixes, dtype=dtype),
+        np.asarray(starts, dtype=np.int64),
+    ).tolist()
+
+
+def find_positions_py(
+    targets: Sequence[str], outputs: Sequence[str]
+) -> list[int]:
+    """Per-row ``target.find(output)`` — containment and position in one op."""
+    return [target.find(output) for target, output in zip(targets, outputs)]
+
+
+def find_positions_np(
+    targets: Sequence[str], outputs: Sequence[str]
+) -> list[int]:
+    """numpy :func:`find_positions_py`."""
+    np = numpy_or_none()
+    assert np is not None
+    from numpy.dtypes import StringDType
+
+    dtype = StringDType()
+    return np.strings.find(
+        np.asarray(targets, dtype=dtype), np.asarray(outputs, dtype=dtype)
+    ).tolist()
+
+
+def slice_cuts_py(
+    member_ends: Sequence[int], piece_lengths: Sequence[int]
+) -> list[int]:
+    """Per-row ``bisect_right(member_ends, piece_length)`` over a sorted group."""
+    return [bisect_right(member_ends, length) for length in piece_lengths]
+
+
+def slice_cuts_np(
+    member_ends: Sequence[int], piece_lengths: Sequence[int]
+) -> list[int]:
+    """numpy :func:`slice_cuts_py` (``searchsorted`` with the same side)."""
+    np = numpy_or_none()
+    assert np is not None
+    return np.searchsorted(
+        np.asarray(member_ends, dtype=np.int64),
+        np.asarray(piece_lengths, dtype=np.int64),
+        side="right",
+    ).tolist()
+
+
+def slice_pieces_py(pieces: Sequence[str], start: int, end: int) -> list[str]:
+    """Per-row ``piece[start:end]`` (callers guarantee ``end <= len(piece)``)."""
+    return [piece[start:end] for piece in pieces]
+
+
+def slice_pieces_np(pieces: Sequence[str], start: int, end: int) -> list[str]:
+    """numpy :func:`slice_pieces_py`."""
+    np = numpy_or_none()
+    assert np is not None
+    from numpy.dtypes import StringDType
+
+    return np.strings.slice(
+        np.asarray(pieces, dtype=StringDType()), start, end
+    ).tolist()
+
+
+def str_lengths_py(texts: Sequence[str]) -> list[int]:
+    """Per-row ``len(text)``."""
+    return [len(text) for text in texts]
+
+
+def str_lengths_np(texts: Sequence[str]) -> list[int]:
+    """numpy :func:`str_lengths_py`."""
+    np = numpy_or_none()
+    assert np is not None
+    from numpy.dtypes import StringDType
+
+    return np.strings.str_len(np.asarray(texts, dtype=StringDType())).tolist()
+
+
+__all__ = [
+    "STATE_NONE",
+    "STATE_OK",
+    "STATE_UNKNOWN",
+    "find_positions_np",
+    "find_positions_py",
+    "partition_statuses_np",
+    "partition_statuses_py",
+    "slice_cuts_np",
+    "slice_cuts_py",
+    "slice_pieces_np",
+    "slice_pieces_py",
+    "startswith_at_np",
+    "startswith_at_py",
+    "str_lengths_np",
+    "str_lengths_py",
+]

@@ -1,0 +1,1038 @@
+"""numpy block walker for the batched coverage engine.
+
+:func:`walk_trie_rows_numpy` is the kernel-tier implementation of
+:func:`repro.core.coverage._walk_trie_rows` — same signature, same return
+value, byte-identical covered rows *and* statistics.  The serial Python
+walker remains the executable spec; this walker reorganizes the identical
+per-(edge, row) classifications into array form:
+
+* Per-block state is transposed from row-major to **column-major**: one
+  ``bytearray`` column per unit (memo state: 0 unknown / 1 output known /
+  2 known ``None``) and per required-set (0 unknown / 1 holds / 2 fails),
+  each wrapped in a zero-copy ``np.frombuffer`` view so a single fancy
+  gather classifies every candidate row of an edge at once.  Unit outputs
+  live in per-unit dicts keyed by row slot.  All columns are pooled and
+  reused across blocks (the small-fix satellite applies the same pooling to
+  the Python walker).
+* Edge visits carrying at least :data:`_VECTOR_MIN_ROWS` candidate rows run
+  the vector path: gather memo states, evaluate only the unknown rows in a
+  Python loop that mirrors the reference opcode semantics exactly, then
+  classify survivors with ``np.strings.startswith`` at per-row prefix
+  offsets.  Smaller visits run the reference's own per-row loops — the
+  cutoff is a scheduling decision, both paths produce identical values.
+* Root slice groups batch the shared piece per group into a ``StringDType``
+  array; the sorted-by-end bulk skip becomes one ``searchsorted`` and the
+  containment-and-position check one ``np.strings.find`` per member.
+* The Aho-Corasick root-literal scan stays in Python: one automaton pass
+  per target is already O(len + matches), and a vectorized presence table
+  would do ~1000x the string work.
+
+Why the results cannot drift: every statistic is a sum of per-(edge, row)
+classifications, and each classification depends only on per-row memo/cache
+state whose value is independent of *when* it is computed (a unit's output
+for a row is a pure function of the row; a required set holds or fails per
+row regardless of which edge asks first).  Reordering rows into arrays
+changes evaluation timing only.  Candidate arrays stay ascending under
+boolean masking, each terminal node is visited once per block, and blocks
+advance in row order — so covered-row lists come out in the reference's
+exact order too.
+"""
+
+from __future__ import annotations
+
+from time import monotonic
+from typing import TYPE_CHECKING, Any, Sequence
+
+from repro.kernels import numpy_or_none
+
+if TYPE_CHECKING:
+    from repro.core.pairs import RowPair
+    from repro.core.coverage import PackedTrie
+    from repro.core.units import TransformationUnit
+
+#: Edge visits with fewer candidate rows than this run the reference's
+#: per-row Python loops instead of paying numpy's fixed per-call overhead.
+#: Purely a scheduling cutoff — values are identical on both paths.
+_VECTOR_MIN_ROWS = 32
+
+#: Unit evaluations over fewer unknown rows than this run the reference's
+#: per-row loop inside :func:`evaluate_unit`; larger batches use the shared
+#: per-block piece arrays.  Same values either way.
+_VECTOR_MIN_EVAL = 8
+
+#: Rows per block for the numpy walker.  The reference walker blocks at
+#: :data:`repro.core.coverage._WALK_BLOCK_ROWS` (1024) to bound per-row
+#: cache memory, but ``np.strings`` ufuncs carry a large fixed per-call
+#: cost — a bigger block divides every per-block, per-group and per-node
+#: numpy call count by the same factor while the per-row work is invariant.
+#: Block size is results-neutral: blocks advance in row order and every
+#: per-row classification depends only on that row.
+_NUMPY_BLOCK_ROWS = 32768
+
+
+def available() -> bool:
+    """Whether the numpy walker can run (numpy tier with ``np.strings``)."""
+    np = numpy_or_none()
+    return (
+        np is not None
+        and hasattr(np, "strings")
+        and hasattr(np.strings, "slice")
+        and hasattr(np.strings, "startswith")
+    )
+
+
+def walk_trie_rows_numpy(
+    pairs: "Sequence[RowPair]",
+    row_offset: int,
+    trie: "PackedTrie",
+    non_covering_units: "Sequence[set[TransformationUnit]]",
+    use_cache: bool,
+    deadline: float | None = None,
+) -> tuple[dict[int, list[int]], int, int, int, int]:
+    """The numpy-tier twin of :func:`repro.core.coverage._walk_trie_rows`."""
+    np = numpy_or_none()
+    assert np is not None, "numpy walker requires the numpy tier"
+    from numpy.dtypes import StringDType
+
+    from repro.core.coverage import _OP_LITERAL  # noqa: PLC0415
+    from repro.core.coverage import (
+        _OP_SPLIT,
+        _OP_SPLITSUBSTR,
+        _OP_SUBSTR,
+        _OP_TWOCHAR,
+    )
+
+    strings = np.strings
+    string_dtype = StringDType()
+    intp = np.intp
+
+    covered: dict[int, list[int]] = {}
+    hits = misses = applications = 0
+    rows_processed = 0
+    root_terminals = trie.root_terminals
+    root_other_edges = trie.root_other_edges
+    root_literal_by_text = trie.root_literal_by_text
+    root_literal_total = trie.root_literal_total
+    root_slice_groups = trie.root_slice_groups
+    req_sets = trie.req_sets
+    goto, fail, outputs_table = trie.automaton
+    num_texts = len(trie.anchor_texts)
+    num_reqs = len(req_sets)
+    num_units = trie.num_units
+    num_delimiters = trie.num_delimiters
+    num_rows = len(pairs)
+
+    # Pooled per-block state (allocated at the first block, reset afterwards).
+    # Unit memo state lives in one (num_units x block) uint8 matrix backed by
+    # a shared bytearray: the Python paths index per-unit memoryview rows
+    # while the vector path gathers whole (edge x row) submatrices per node.
+    # Required-set viability is *eager*: after the presence scan, one
+    # vectorized pass fills the (num_reqs+1 x block) matrix (row 0 is an
+    # always-viable sentinel addressed by ``req_id + 1`` when ``req_id`` is
+    # -1).  Eagerness cannot show up in the results: a required set holds or
+    # fails per row no matter when — or whether — an edge asks.
+    unit_buf = bytearray(0)
+    unit_states: list = []
+    unit_views: list[Any] = []
+    unit_mat: Any = None
+    unit_outs: list[dict[int, str]] = []
+    req_buf = bytearray(0)
+    req_cols: list = []
+    req_views: list[Any] = []
+    req_mat: Any = None
+    presence_buf = bytearray(0)
+    presences: list = []
+    presence_mat: Any = None
+    split_caches: list[list] = []
+    tsplit_caches: list[dict] = []
+    matched_lists: list = []
+    none_template: list = [None] * num_delimiters
+    block_cap = min(num_rows, _NUMPY_BLOCK_ROWS) or 1
+    if deadline is not None:
+        from repro.core.coverage import _WALK_BLOCK_ROWS  # noqa: PLC0415
+
+        # A budgeted walk must cut at the reference engine's row
+        # boundaries: the deadline is only checked between blocks, and the
+        # fully-processed prefix (rows_processed and the covered rows it
+        # implies) is part of the identical-results contract — a bigger
+        # block would make an expired budget process more rows than the
+        # pure-Python tier does.
+        block_cap = min(block_cap, _WALK_BLOCK_ROWS)
+    zero_unit_buf = bytes(num_units * block_cap)
+    zero_presence_buf = bytes(num_texts * block_cap)
+    first_block = True
+
+    # Requirement sets regrouped for the eager pass: the many single-text
+    # sets fill their rows in one fancy assignment, the few multi-text sets
+    # reduce with ``min`` (presence is 0/1, so min==1 iff all present).
+    req_single_rows: Any = None
+    req_single_cols: Any = None
+    req_multi: list[tuple[int, Any]] = []
+    if num_reqs:
+        singles = [
+            (rid, req_set[0])
+            for rid, req_set in enumerate(req_sets)
+            if len(req_set) == 1
+        ]
+        req_single_rows = np.array([rid + 1 for rid, _ in singles], dtype=intp)
+        req_single_cols = np.array([col for _, col in singles], dtype=intp)
+        req_multi = [
+            (rid + 1, np.asarray(req_set, dtype=intp))
+            for rid, req_set in enumerate(req_sets)
+            if len(req_set) > 1
+        ]
+
+    for block_start in range(0, num_rows, block_cap):
+        if deadline is not None and block_start and monotonic() >= deadline:
+            break
+        block = pairs[block_start : block_start + block_cap]
+        block_n = len(block)
+        rows_processed = block_start + block_n
+        sources = [pair.source for pair in block]
+        targets = [pair.target for pair in block]
+        target_lengths = [len(target) for target in targets]
+        targets_np = np.array(targets, dtype=string_dtype)
+        sources_np = np.array(sources, dtype=string_dtype)
+        source_lengths = strings.str_len(sources_np)
+
+        # Shared per-block split-piece arrays: ``split(d)[k]`` for the whole
+        # block, built once per (delimiter, piece index) from cached
+        # partition remainders and reused by the root slice dispatch and
+        # the batched unit evaluator alike.
+        delim_scalars: dict[int, Any] = {}
+        count_cache: dict[int, Any] = {}
+        rem_cache: dict[tuple[int, int], Any] = {}
+        piece_cache: dict[tuple[int, int], Any] = {}
+        plen_cache: dict[tuple[int, int], Any] = {}
+
+        def split_piece(
+            delimiter: str, piece_index: int, delimiter_id: int
+        ) -> tuple[Any, Any]:
+            """Block-wide ``source.split(delimiter)[piece_index]``.
+
+            Returns ``(piece, valid)``: *valid* is the reference's
+            ``num_pieces >= 2 and piece_index < num_pieces`` guard (the
+            delimiter occurs at least ``max(1, piece_index)`` times), and
+            *piece* is meaningful only where *valid* holds.
+            """
+            counts = count_cache.get(delimiter_id)
+            if counts is None:
+                delim_scalars[delimiter_id] = np.array(
+                    delimiter, dtype=string_dtype
+                )
+                counts = count_cache[delimiter_id] = strings.count(
+                    sources_np, delim_scalars[delimiter_id]
+                )
+            piece = piece_cache.get((delimiter_id, piece_index))
+            if piece is None:
+                sep = delim_scalars[delimiter_id]
+                depth = 0
+                remainder = sources_np
+                for k in range(piece_index, 0, -1):
+                    cached = rem_cache.get((delimiter_id, k))
+                    if cached is not None:
+                        depth = k
+                        remainder = cached
+                        break
+                while depth < piece_index:
+                    remainder = strings.partition(remainder, sep)[2]
+                    depth += 1
+                    rem_cache[(delimiter_id, depth)] = remainder
+                piece = strings.partition(remainder, sep)[0]
+                piece_cache[(delimiter_id, piece_index)] = piece
+            return piece, counts >= (piece_index if piece_index > 1 else 1)
+        block_cache = non_covering_units[block_start : block_start + block_n]
+        warms = [use_cache and bool(cache) for cache in block_cache]
+        warm_any = True in warms
+
+        if first_block:
+            first_block = False
+            unit_buf = bytearray(num_units * block_cap)
+            unit_mat = np.frombuffer(unit_buf, dtype=np.uint8).reshape(
+                num_units, block_cap
+            )
+            unit_mem = memoryview(unit_buf)
+            unit_states = [
+                unit_mem[i * block_cap : (i + 1) * block_cap]
+                for i in range(num_units)
+            ]
+            unit_views = list(unit_mat)
+            unit_outs = [{} for _ in range(num_units)]
+            req_buf = bytearray((num_reqs + 1) * block_cap)
+            req_mat = np.frombuffer(req_buf, dtype=np.uint8).reshape(
+                num_reqs + 1, block_cap
+            )
+            req_mat[0] = 1
+            req_mem = memoryview(req_buf)
+            req_cols = [
+                req_mem[
+                    (i + 1) * block_cap : (i + 2) * block_cap
+                ]
+                for i in range(num_reqs)
+            ]
+            req_views = list(req_mat[1:]) if num_reqs else []
+            presence_buf = bytearray(num_texts * block_cap)
+            presence_mat = np.frombuffer(presence_buf, dtype=np.uint8).reshape(
+                block_cap, num_texts
+            )
+            presence_mem = memoryview(presence_buf)
+            presences = [
+                presence_mem[i * num_texts : (i + 1) * num_texts]
+                for i in range(block_cap)
+            ]
+            split_caches = [
+                [None] * num_delimiters for _ in range(block_cap)
+            ]
+            tsplit_caches = [{} for _ in range(block_cap)]
+            matched_lists = [None] * block_cap
+        else:
+            unit_buf[:] = zero_unit_buf
+            for out in unit_outs:
+                out.clear()
+            presence_buf[:] = zero_presence_buf
+            for cache in split_caches:
+                cache[:] = none_template
+            for tcache in tsplit_caches:
+                tcache.clear()
+
+        def evaluate_unit(edge: tuple, unknown_np):
+            """Evaluate *edge*'s unit for the given rows, writing the memo.
+
+            The vectorized branch additionally reports its outcome so the
+            caller can batch the positional compare: ``(good_slots,
+            good_outputs)`` arrays when rows passed, ``None`` when the
+            vector path ran but nothing passed.  The per-row fallback
+            returns ``False`` — the caller must re-gather memo state, since
+            rows may have become OK without arrays to show for it.
+
+            Mirrors the reference walker's opcode evaluation — including the
+            warm-cache consult and the output-in-target containment check —
+            writing memo state 1 (+ output) or 2 per row.  Large batches of
+            split/substring units evaluate in numpy off the shared per-block
+            piece arrays (computing a piece for rows that never ask is
+            invisible: outputs are pure functions of the row, and the memo
+            is written only for the rows requested); everything else runs
+            the reference's per-row loop.
+            """
+            op = edge[1]
+            args = edge[2]
+            unit = edge[7]
+            uid = edge[0]
+            st_col = unit_states[uid]
+            out_col = unit_outs[uid]
+            output: str | None
+            if unknown_np.size >= _VECTOR_MIN_EVAL and (
+                op == _OP_SPLITSUBSTR or op == _OP_SPLIT or op == _OP_SUBSTR
+            ):
+                sub = unknown_np
+                if warm_any:
+                    kept = [
+                        slot
+                        for slot in sub.tolist()
+                        if not (warms[slot] and unit in block_cache[slot])
+                    ]
+                    if len(kept) != int(sub.size):
+                        unit_view = unit_views[uid]
+                        unit_view[sub] = 2
+                        if not kept:
+                            return
+                        sub = np.asarray(kept, dtype=intp)
+                if op == _OP_SUBSTR:
+                    start, end = args
+                    ok = source_lengths[sub] >= end
+                    outs = strings.slice(sources_np[sub], start, end)
+                elif op == _OP_SPLIT:
+                    delimiter, piece_index, delimiter_id = args
+                    piece_np, valid = split_piece(
+                        delimiter, piece_index, delimiter_id
+                    )
+                    ok = valid[sub]
+                    outs = piece_np[sub]
+                else:
+                    delimiter, piece_index, start, end, delimiter_id = args
+                    piece_np, valid = split_piece(
+                        delimiter, piece_index, delimiter_id
+                    )
+                    plen = plen_cache.get((delimiter_id, piece_index))
+                    if plen is None:
+                        plen = plen_cache[(delimiter_id, piece_index)] = (
+                            strings.str_len(piece_np)
+                        )
+                    ok = valid[sub] & (plen[sub] >= end)
+                    outs = strings.slice(piece_np[sub], start, end)
+                # An empty output is a pass-through in the reference (the
+                # containment check is skipped); find("", ...) == 0 keeps
+                # it on the ok side here too.
+                ok &= strings.find(targets_np[sub], outs) >= 0
+                unit_view = unit_views[uid]
+                bad = sub[~ok]
+                if bad.size:
+                    unit_view[bad] = 2
+                good = sub[ok]
+                if good.size:
+                    unit_view[good] = 1
+                    good_outs = outs[ok]
+                    out_col.update(zip(good.tolist(), good_outs.tolist()))
+                    return good, good_outs
+                return None
+            unknown_slots = unknown_np.tolist()
+            if op == _OP_SPLITSUBSTR:
+                delimiter, piece_index, start, end, delimiter_id = args
+                for slot in unknown_slots:
+                    if warm_any and warms[slot] and unit in block_cache[slot]:
+                        st_col[slot] = 2
+                        continue
+                    cache = split_caches[slot]
+                    pieces = cache[delimiter_id]
+                    if pieces is None:
+                        pieces = cache[delimiter_id] = sources[slot].split(
+                            delimiter
+                        )
+                    num_pieces = len(pieces)
+                    if num_pieces < 2 or piece_index >= num_pieces:
+                        output = None
+                    else:
+                        piece = pieces[piece_index]
+                        if end > len(piece):
+                            output = None
+                        else:
+                            output = piece[start:end]
+                            if output not in targets[slot]:
+                                output = None
+                    if output is None:
+                        st_col[slot] = 2
+                    else:
+                        st_col[slot] = 1
+                        out_col[slot] = output
+            elif op == _OP_SPLIT:
+                delimiter, piece_index, delimiter_id = args
+                for slot in unknown_slots:
+                    if warm_any and warms[slot] and unit in block_cache[slot]:
+                        st_col[slot] = 2
+                        continue
+                    cache = split_caches[slot]
+                    pieces = cache[delimiter_id]
+                    if pieces is None:
+                        pieces = cache[delimiter_id] = sources[slot].split(
+                            delimiter
+                        )
+                    num_pieces = len(pieces)
+                    if num_pieces < 2 or piece_index >= num_pieces:
+                        output = None
+                    else:
+                        output = pieces[piece_index]
+                        if output and output not in targets[slot]:
+                            output = None
+                    if output is None:
+                        st_col[slot] = 2
+                    else:
+                        st_col[slot] = 1
+                        out_col[slot] = output
+            elif op == _OP_SUBSTR:
+                start, end = args
+                for slot in unknown_slots:
+                    if warm_any and warms[slot] and unit in block_cache[slot]:
+                        st_col[slot] = 2
+                        continue
+                    source = sources[slot]
+                    if end > len(source):
+                        output = None
+                    else:
+                        output = source[start:end]
+                        if output and output not in targets[slot]:
+                            output = None
+                    if output is None:
+                        st_col[slot] = 2
+                    else:
+                        st_col[slot] = 1
+                        out_col[slot] = output
+            else:
+                for slot in unknown_slots:
+                    if warm_any and warms[slot] and unit in block_cache[slot]:
+                        st_col[slot] = 2
+                        continue
+                    source = sources[slot]
+                    if op == _OP_TWOCHAR:
+                        key = (args[0], args[1])
+                        tcache = tsplit_caches[slot]
+                        pieces = tcache.get(key, False)
+                        if pieces is False:
+                            if args[0] in source or args[1] in source:
+                                mode = args[5]
+                                if mode == 2:
+                                    pieces = source.replace(
+                                        args[1], args[0]
+                                    ).split(args[0])
+                                elif mode == 1:
+                                    pieces = source.split(args[0])
+                                elif mode == -1:
+                                    pieces = source.split(args[1])
+                                else:
+                                    pieces = [source]
+                            else:
+                                pieces = None
+                            tcache[key] = pieces
+                        if pieces is None or args[2] >= len(pieces):
+                            output = None
+                        else:
+                            piece = pieces[args[2]]
+                            output = (
+                                piece[args[3] : args[4]]
+                                if args[4] <= len(piece)
+                                else None
+                            )
+                    else:
+                        output = args[0](source)
+                    if output is not None and output:
+                        if output not in targets[slot]:
+                            output = None
+                    if output is None:
+                        st_col[slot] = 2
+                    else:
+                        st_col[slot] = 1
+                        out_col[slot] = output
+            return False
+
+        all_slots = list(range(block_n))
+        stack: list[tuple] = [
+            (root_other_edges, root_terminals, all_slots, [0] * block_n)
+        ]
+        push = stack.append
+        pop = stack.pop
+
+        # ---------------------------------------------------------------- #
+        # Root literal scan: identical to the reference (the automaton pass
+        # is already O(len + matches) per target).  The dispatch over the
+        # matched anchors is deferred until after the eager required-set
+        # pass below so it reads viability straight out of the matrix.
+        # ---------------------------------------------------------------- #
+        if num_texts:
+            for slot in all_slots:
+                presence = presences[slot]
+                matched: list[int] = []
+                matched_append = matched.append
+                state = 0
+                for char in targets[slot]:
+                    next_state = goto[state].get(char)
+                    while next_state is None and state:
+                        state = fail[state]
+                        next_state = goto[state].get(char)
+                    state = next_state if next_state is not None else 0
+                    for text_id in outputs_table[state]:
+                        if not presence[text_id]:
+                            presence[text_id] = 1
+                            matched_append(text_id)
+                matched_lists[slot] = matched
+
+        # Eager required-set viability: presence is complete for the block,
+        # so every (req, row) answer is already fixed — fill the whole
+        # matrix now (1 viable / 2 fails, the reference's lazily computed
+        # values exactly) and never run a per-row membership loop again.
+        if num_reqs:
+            if num_texts:
+                pm = presence_mat[:block_n]
+                req_mat[req_single_rows, :block_n] = (
+                    2 - pm[:, req_single_cols].T
+                )
+                for req_row, req_cols_np in req_multi:
+                    req_mat[req_row, :block_n] = 2 - pm[:, req_cols_np].min(
+                        axis=1
+                    )
+            else:
+                req_mat[1:, :block_n] = 2
+
+        if num_texts:
+            descents: dict[int, tuple[list, list[int]]] = {}
+            skipped_root = 0
+            failed_root = 0
+            for slot in all_slots:
+                target = targets[slot]
+                viable_subtree = 0
+                for text_id in matched_lists[slot]:
+                    edge = root_literal_by_text.get(text_id)
+                    if edge is None:
+                        continue
+                    if req_cols[edge[6]][slot] == 2:
+                        continue
+                    viable_subtree += edge[5]
+                    text = edge[2][0]
+                    if target.startswith(text):
+                        entry = descents.get(text_id)
+                        if entry is None:
+                            entry = descents[text_id] = ([], len(text))
+                        entry[0].append(slot)
+                    else:
+                        failed_root += edge[5]
+                skipped_root += root_literal_total - viable_subtree
+            if use_cache:
+                hits += skipped_root
+            else:
+                misses += skipped_root
+            misses += failed_root
+            for text_id, (slots, prefix_length) in descents.items():
+                edge = root_literal_by_text[text_id]
+                push((edge[3], edge[4], slots, [prefix_length] * len(slots)))
+
+        # ---------------------------------------------------------------- #
+        # Root slice dispatch, vectorized per group: the shared piece per
+        # row is computed entirely in numpy — one StringDType conversion of
+        # the sources per block, one ``np.strings.count`` per delimiter
+        # (piece existence), and repeated ``np.strings.partition``
+        # remainders per (delimiter, piece index), all cached for the
+        # block.  ``split(d)[k]`` equals the first segment after k
+        # partitions whenever the delimiter occurs at least ``max(1, k)``
+        # times, which is exactly the reference's ``num_pieces`` guard —
+        # rows failing it are masked out before the piece is ever read.
+        # The sorted-by-end bulk skip becomes one searchsorted and each
+        # member's containment-and-position check one np.strings.find.
+        # ---------------------------------------------------------------- #
+        if root_slice_groups:
+            all_slots_np = np.arange(block_n, dtype=intp)
+        for (
+            delimiter,
+            piece_index,
+            delimiter_id,
+            member_starts,
+            member_ends,
+            member_unit_ids,
+            member_req_ids,
+            member_subtrees,
+            suffix_totals,
+            group,
+        ) in root_slice_groups:
+            group_size = len(group)
+            skipped_units = 0
+            failed_units = 0
+            if delimiter is None:
+                piece_np = sources_np
+                have_idx = all_slots_np
+            else:
+                piece_np, valid = split_piece(
+                    delimiter, piece_index, delimiter_id
+                )
+                have_idx = np.flatnonzero(valid)
+                missing = block_n - int(have_idx.size)
+                if missing:
+                    skipped_units += missing * suffix_totals[0]
+            cuts = np.searchsorted(
+                np.asarray(member_ends, dtype=np.int64),
+                strings.str_len(piece_np)[have_idx],
+                side="right",
+            )
+            short = cuts < group_size
+            if short.any():
+                skipped_units += int(
+                    np.asarray(suffix_totals, dtype=np.int64)[cuts[short]].sum()
+                )
+            for position in range(group_size):
+                cand = have_idx[cuts > position]
+                if cand.size == 0:
+                    continue
+                req_id = member_req_ids[position]
+                if req_id >= 0:
+                    viability = req_views[req_id][cand]
+                    bad = int((viability == 2).sum())
+                    if bad:
+                        skipped_units += bad * member_subtrees[position]
+                        cand = cand[viability == 1]
+                        if cand.size == 0:
+                            continue
+                member_outputs = strings.slice(
+                    piece_np[cand], member_starts[position], member_ends[position]
+                )
+                found = strings.find(targets_np[cand], member_outputs)
+                unit_view = unit_views[member_unit_ids[position]]
+                none_mask = found < 0
+                num_none = int(none_mask.sum())
+                if num_none:
+                    unit_view[cand[none_mask]] = 2
+                    skipped_units += num_none * member_subtrees[position]
+                if num_none != cand.size:
+                    ok_mask = ~none_mask
+                    ok = cand[ok_mask]
+                    unit_view[ok] = 1
+                    out_col = unit_outs[member_unit_ids[position]]
+                    for slot, output in zip(
+                        ok.tolist(), member_outputs[ok_mask].tolist()
+                    ):
+                        out_col[slot] = output
+                    zero_mask = found[ok_mask] == 0
+                    num_zero = int(zero_mask.sum())
+                    failed_units += (int(ok.size) - num_zero) * member_subtrees[
+                        position
+                    ]
+                    if num_zero:
+                        edge = group[position]
+                        output_length = (
+                            member_ends[position] - member_starts[position]
+                        )
+                        descend = ok[zero_mask].tolist()
+                        push(
+                            (
+                                edge[3],
+                                edge[4],
+                                descend,
+                                [output_length] * len(descend),
+                            )
+                        )
+            if use_cache:
+                hits += skipped_units
+            else:
+                misses += skipped_units
+            misses += failed_units
+
+        # ---------------------------------------------------------------- #
+        # Generic walk: per edge, either the vector path (memo-state gather,
+        # Python evaluation of unknown rows only, batched startswith) or —
+        # for small candidate sets — the reference's own per-row loops.
+        # ---------------------------------------------------------------- #
+        while stack:
+            edges, terminals, slots, prefixes = pop()
+            if terminals:
+                count = len(terminals)
+                reached = len(slots)
+                misses += count * reached
+                applications += count * reached
+                for slot, prefix in zip(slots, prefixes):
+                    if prefix == target_lengths[slot]:
+                        row_index = row_offset + block_start + slot
+                        for index in terminals:
+                            covered.setdefault(index, []).append(row_index)
+            num_slots = len(slots)
+            vectorize = num_slots >= _VECTOR_MIN_ROWS
+            if vectorize:
+                # One 2D gather per node classifies every (edge, row) pair:
+                # requirement viability and memo state come out as boolean
+                # matrices whose row sums pre-count the dominant skip cases,
+                # so a pure-skip edge costs zero further numpy calls.
+                slots_np = np.asarray(slots, dtype=intp)
+                prefixes_np = np.asarray(prefixes, dtype=np.int64)
+                edge_units = np.array([edge[0] for edge in edges], dtype=intp)
+                edge_reqs = np.array(
+                    [edge[6] + 1 for edge in edges], dtype=intp
+                )
+                alive_mat = req_mat[np.ix_(edge_reqs, slots_np)] != 2
+                status_mat = unit_mat[np.ix_(edge_units, slots_np)]
+                alive_counts = alive_mat.sum(axis=1).tolist()
+                unknown_mat = alive_mat & (status_mat == 0)
+                need_evals = unknown_mat.any(axis=1).tolist()
+                none_mat = alive_mat & (status_mat == 2)
+                none_counts = none_mat.sum(axis=1).tolist()
+                ok_mat = alive_mat & (status_mat == 1)
+            for index, edge in enumerate(edges):
+                subtree = edge[5]
+                req_id = edge[6]
+                op = edge[1]
+                args = edge[2]
+                skipped = 0
+                failed = 0
+                child_slots: list[int] = []
+                child_prefixes: list[int] = []
+                if vectorize:
+                    n_alive = alive_counts[index]
+                    skipped = num_slots - n_alive
+                    if op == _OP_LITERAL and args[0]:
+                        if n_alive:
+                            if skipped:
+                                row_alive = alive_mat[index]
+                                sl = slots_np[row_alive]
+                                pf = prefixes_np[row_alive]
+                            else:
+                                sl = slots_np
+                                pf = prefixes_np
+                            text = args[0]
+                            matches = strings.startswith(
+                                targets_np[sl], text, pf
+                            )
+                            num_matched = int(matches.sum())
+                            failed = n_alive - num_matched
+                            if num_matched:
+                                child_slots = sl[matches].tolist()
+                                child_prefixes = (
+                                    pf[matches] + len(text)
+                                ).tolist()
+                    elif op == _OP_LITERAL:
+                        if not skipped:
+                            child_slots = slots
+                            child_prefixes = prefixes
+                        elif n_alive:
+                            row_alive = alive_mat[index]
+                            child_slots = slots_np[row_alive].tolist()
+                            child_prefixes = prefixes_np[row_alive].tolist()
+                    elif n_alive:
+                        # Only rows surviving the matrix classification —
+                        # descent candidates and positional failures, a
+                        # small minority — run the per-row startswith loop.
+                        # Batching the string compare too would cost more
+                        # than it saves: materializing the per-edge outputs
+                        # into a StringDType array is pricier than the
+                        # compares themselves.
+                        batched = False
+                        if need_evals[index]:
+                            fresh = evaluate_unit(
+                                edge, slots_np[unknown_mat[index]]
+                            )
+                            if fresh is not False and not ok_mat[index].any():
+                                # No memo-OK carry-over at this node, so the
+                                # eval arrays ARE its whole OK set: batch the
+                                # positional compare too.  Empty outputs are
+                                # pass-throughs in the reference; startswith
+                                # with an empty needle is True at any offset
+                                # and advances the prefix by zero, which is
+                                # the same thing.
+                                batched = True
+                                skipped += n_alive
+                                if fresh is not None:
+                                    good, good_outs = fresh
+                                    num_good = int(good.size)
+                                    skipped -= num_good
+                                    pf = prefixes_np[
+                                        np.searchsorted(slots_np, good)
+                                    ]
+                                    matches = strings.startswith(
+                                        targets_np[good], good_outs, pf
+                                    )
+                                    num_matched = int(matches.sum())
+                                    failed = num_good - num_matched
+                                    if num_matched:
+                                        child_slots = good[matches].tolist()
+                                        child_prefixes = (
+                                            pf[matches]
+                                            + strings.str_len(
+                                                good_outs[matches]
+                                            )
+                                        ).tolist()
+                            else:
+                                statuses = unit_views[edge[0]][slots_np]
+                                row_alive = alive_mat[index]
+                                num_none = int(
+                                    (row_alive & (statuses == 2)).sum()
+                                )
+                                ok_row = row_alive & (statuses == 1)
+                        else:
+                            num_none = none_counts[index]
+                            ok_row = ok_mat[index]
+                        if not batched:
+                            skipped += num_none
+                        if not batched and num_none != n_alive:
+                            out_col = unit_outs[edge[0]]
+                            descend_slot = child_slots.append
+                            descend_prefix = child_prefixes.append
+                            for slot, prefix in zip(
+                                slots_np[ok_row].tolist(),
+                                prefixes_np[ok_row].tolist(),
+                            ):
+                                output = out_col[slot]
+                                if output:
+                                    if targets[slot].startswith(output, prefix):
+                                        descend_slot(slot)
+                                        descend_prefix(prefix + len(output))
+                                    else:
+                                        failed += 1
+                                else:
+                                    descend_slot(slot)
+                                    descend_prefix(prefix)
+                else:
+                    req_col = req_cols[req_id] if req_id >= 0 else None
+                    descend_slot = child_slots.append
+                    descend_prefix = child_prefixes.append
+                    if op == _OP_LITERAL and args[0]:
+                        text = args[0]
+                        text_length = len(text)
+                        for slot, prefix in zip(slots, prefixes):
+                            if req_col[slot] == 2:
+                                skipped += 1
+                            elif targets[slot].startswith(text, prefix):
+                                descend_slot(slot)
+                                descend_prefix(prefix + text_length)
+                            else:
+                                failed += 1
+                    elif op == _OP_LITERAL:
+                        if req_col is None:
+                            child_slots = slots
+                            child_prefixes = prefixes
+                        else:
+                            for slot, prefix in zip(slots, prefixes):
+                                if req_col[slot] == 2:
+                                    skipped += 1
+                                else:
+                                    descend_slot(slot)
+                                    descend_prefix(prefix)
+                    elif op == _OP_SPLITSUBSTR:
+                        # The workhorse op keeps its own inlined loop with
+                        # the unit's parameters in locals, exactly like the
+                        # reference walker (its output is never empty, so
+                        # the emptiness branch disappears too).
+                        unit = edge[7]
+                        st_col = unit_states[edge[0]]
+                        out_col = unit_outs[edge[0]]
+                        delimiter, piece_index, start, end, delimiter_id = args
+                        output_length = end - start
+                        for slot, prefix in zip(slots, prefixes):
+                            if req_col is not None and req_col[slot] == 2:
+                                skipped += 1
+                                continue
+                            status = st_col[slot]
+                            if not status:
+                                if (
+                                    warm_any
+                                    and warms[slot]
+                                    and unit in block_cache[slot]
+                                ):
+                                    output = None
+                                else:
+                                    cache = split_caches[slot]
+                                    pieces = cache[delimiter_id]
+                                    if pieces is None:
+                                        pieces = cache[delimiter_id] = sources[
+                                            slot
+                                        ].split(delimiter)
+                                    num_pieces = len(pieces)
+                                    if (
+                                        num_pieces < 2
+                                        or piece_index >= num_pieces
+                                    ):
+                                        output = None
+                                    else:
+                                        piece = pieces[piece_index]
+                                        if end > len(piece):
+                                            output = None
+                                        else:
+                                            output = piece[start:end]
+                                            if output not in targets[slot]:
+                                                output = None
+                                if output is None:
+                                    st_col[slot] = 2
+                                    skipped += 1
+                                    continue
+                                st_col[slot] = 1
+                                out_col[slot] = output
+                            elif status == 2:
+                                skipped += 1
+                                continue
+                            else:
+                                output = out_col[slot]
+                            if targets[slot].startswith(output, prefix):
+                                descend_slot(slot)
+                                descend_prefix(prefix + output_length)
+                            else:
+                                failed += 1
+                    else:
+                        unit = edge[7]
+                        st_col = unit_states[edge[0]]
+                        out_col = unit_outs[edge[0]]
+                        for slot, prefix in zip(slots, prefixes):
+                            if req_col is not None and req_col[slot] == 2:
+                                skipped += 1
+                                continue
+                            status = st_col[slot]
+                            if not status:
+                                if (
+                                    warm_any
+                                    and warms[slot]
+                                    and unit in block_cache[slot]
+                                ):
+                                    output = None
+                                else:
+                                    source = sources[slot]
+                                    if op == _OP_SPLIT:
+                                        cache = split_caches[slot]
+                                        pieces = cache[args[2]]
+                                        if pieces is None:
+                                            pieces = cache[args[2]] = (
+                                                source.split(args[0])
+                                            )
+                                        num_pieces = len(pieces)
+                                        if (
+                                            num_pieces < 2
+                                            or args[1] >= num_pieces
+                                        ):
+                                            output = None
+                                        else:
+                                            output = pieces[args[1]]
+                                    elif op == _OP_SUBSTR:
+                                        output = (
+                                            source[args[0] : args[1]]
+                                            if args[1] <= len(source)
+                                            else None
+                                        )
+                                    elif op == _OP_TWOCHAR:
+                                        key = (args[0], args[1])
+                                        tcache = tsplit_caches[slot]
+                                        pieces = tcache.get(key, False)
+                                        if pieces is False:
+                                            if (
+                                                args[0] in source
+                                                or args[1] in source
+                                            ):
+                                                mode = args[5]
+                                                if mode == 2:
+                                                    pieces = source.replace(
+                                                        args[1], args[0]
+                                                    ).split(args[0])
+                                                elif mode == 1:
+                                                    pieces = source.split(
+                                                        args[0]
+                                                    )
+                                                elif mode == -1:
+                                                    pieces = source.split(
+                                                        args[1]
+                                                    )
+                                                else:
+                                                    pieces = [source]
+                                            else:
+                                                pieces = None
+                                            tcache[key] = pieces
+                                        if pieces is None or args[2] >= len(
+                                            pieces
+                                        ):
+                                            output = None
+                                        else:
+                                            piece = pieces[args[2]]
+                                            output = (
+                                                piece[args[3] : args[4]]
+                                                if args[4] <= len(piece)
+                                                else None
+                                            )
+                                    else:
+                                        output = args[0](source)
+                                    if (
+                                        output is not None
+                                        and output
+                                        and output not in targets[slot]
+                                    ):
+                                        output = None
+                                if output is None:
+                                    st_col[slot] = 2
+                                    skipped += 1
+                                    continue
+                                st_col[slot] = 1
+                                out_col[slot] = output
+                            elif status == 2:
+                                skipped += 1
+                                continue
+                            else:
+                                output = out_col[slot]
+                            if output:
+                                if targets[slot].startswith(output, prefix):
+                                    descend_slot(slot)
+                                    descend_prefix(prefix + len(output))
+                                else:
+                                    failed += 1
+                            else:
+                                descend_slot(slot)
+                                descend_prefix(prefix)
+                if skipped:
+                    if use_cache:
+                        hits += skipped * subtree
+                    else:
+                        misses += skipped * subtree
+                if failed:
+                    misses += failed * subtree
+                if child_slots:
+                    push((edge[3], edge[4], child_slots, child_prefixes))
+
+    return covered, hits, misses, applications, rows_processed
+
+
+__all__ = ["available", "walk_trie_rows_numpy"]

@@ -140,6 +140,68 @@ class InvertedIndex:
         index.prune_stop_grams()
         return index
 
+    @classmethod
+    def merged(
+        cls,
+        shards: Sequence["InvertedIndex"],
+        *,
+        stop_gram_cap: int = 0,
+    ) -> "InvertedIndex":
+        """Merge per-shard partial indexes into one, byte-identical to serial.
+
+        *shards* must be unpruned partial indexes over contiguous,
+        non-overlapping, increasing global row-id ranges (each built with
+        ``stop_gram_cap=0`` — pruning happens exactly once, here, with the
+        real cap).  The merge preserves the serial :meth:`build` result
+        exactly, including dict insertion order: a gram's first shard is the
+        shard holding its globally first row, shards are consumed in row
+        order, and within a shard grams appear in first-occurrence order —
+        so keys come out in global first-occurrence order, and posting
+        arrays concatenate ascending.
+        """
+        if not shards:
+            raise ValueError("merged() needs at least one shard index")
+        first = shards[0]
+        index = cls(
+            min_size=first._min_size,
+            max_size=first._max_size,
+            lowercase=first._lowercase,
+            stop_gram_cap=stop_gram_cap,
+        )
+        postings = index._postings
+        frequency = index._frequency
+        last_row_id = -1
+        num_rows = 0
+        for shard in shards:
+            if (
+                shard._min_size != first._min_size
+                or shard._max_size != first._max_size
+                or shard._lowercase != first._lowercase
+            ):
+                raise ValueError("shard indexes disagree on configuration")
+            if shard._num_pruned:
+                raise ValueError("shard indexes must be unpruned (cap 0)")
+            if shard._num_rows and shard._last_row_id <= last_row_id:
+                raise ValueError(
+                    "shard indexes must cover increasing row ranges"
+                )
+            for gram, arr in shard._postings.items():
+                existing = postings.get(gram)
+                if existing is None:
+                    # Adopt the shard's array: shards are throwaway carriers.
+                    postings[gram] = arr
+                    frequency[gram] = shard._frequency[gram]
+                else:
+                    existing.extend(arr)
+                    frequency[gram] += shard._frequency[gram]
+            if shard._num_rows:
+                last_row_id = shard._last_row_id
+            num_rows += shard._num_rows
+        index._num_rows = num_rows
+        index._last_row_id = last_row_id
+        index.prune_stop_grams()
+        return index
+
     def add(self, row_id: int, text: str) -> None:
         """Add one row's n-grams to the index.
 

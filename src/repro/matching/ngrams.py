@@ -35,14 +35,22 @@ def unique_ngrams_by_size(
     max_size: int,
     *,
     lowercase: bool = True,
-) -> Iterator[set[str]]:
-    """Yield the set of distinct n-grams of each size in ``[min_size, max_size]``.
+) -> Iterator[list[str]]:
+    """Yield the distinct n-grams of each size in ``[min_size, max_size]``.
 
-    One set per size, smallest size first; sizes larger than the text yield
-    nothing (the iteration simply stops, as in Algorithm 1's scan).  This is
-    the tokenisation primitive of the packed inverted index: the text is
-    lower-cased once (not once per size) and each size is extracted with a
-    single set-comprehension sweep.
+    One list per size, smallest size first, grams in first-occurrence order;
+    sizes larger than the text yield nothing (the iteration simply stops, as
+    in Algorithm 1's scan).  This is the tokenisation primitive of the
+    packed inverted index: the text is lower-cased once (not once per size)
+    and each size is extracted in a single sweep.
+
+    The dedup is *order-preserving* (``dict.fromkeys``), not a set: gram
+    enumeration order feeds the index's postings-dict insertion order, and a
+    set's iteration order depends on the per-interpreter string hash seed —
+    first-occurrence order makes index builds reproducible across
+    interpreters, which is what lets the process-sharded build
+    (:mod:`repro.parallel.index_build`) merge to a byte-identical index
+    even under the ``spawn`` start method.
     """
     if min_size <= 0:
         raise ValueError(f"min n-gram size must be positive, got {min_size}")
@@ -54,7 +62,11 @@ def unique_ngrams_by_size(
         text = text.lower()
     length = len(text)
     for size in range(min_size, min(max_size, length) + 1):
-        yield {text[start : start + size] for start in range(length - size + 1)}
+        yield list(
+            dict.fromkeys(
+                text[start : start + size] for start in range(length - size + 1)
+            )
+        )
 
 
 def ngrams_in_range(

@@ -229,13 +229,36 @@ class NGramRowMatcher(RowMatcher):
         config = self._config
         source_values = list(source_values)
         target_values = list(target_values)
-        target_index = InvertedIndex.build(
-            target_values,
-            min_size=config.min_ngram,
-            max_size=config.max_ngram,
-            lowercase=config.lowercase,
-            stop_gram_cap=config.stop_gram_cap,
+        # The index build shards over target rows (byte-identical merge; see
+        # repro.parallel.index_build) under the same worker tuning that
+        # gates the matching shards, but sized by the *target* column.
+        index_workers = tuned_num_workers(
+            config.num_workers,
+            len(target_values),
+            min_items_per_worker=config.min_rows_per_worker,
         )
+        if index_workers > 1:
+            from repro.parallel.index_build import sharded_index_build
+
+            target_index = sharded_index_build(
+                target_values,
+                min_size=config.min_ngram,
+                max_size=config.max_ngram,
+                lowercase=config.lowercase,
+                stop_gram_cap=config.stop_gram_cap,
+                num_workers=index_workers,
+                task_timeout=config.task_timeout_s or None,
+                max_shard_retries=config.shard_retries,
+                serial_fallback=config.serial_fallback,
+            )
+        else:
+            target_index = InvertedIndex.build(
+                target_values,
+                min_size=config.min_ngram,
+                max_size=config.max_ngram,
+                lowercase=config.lowercase,
+                stop_gram_cap=config.stop_gram_cap,
+            )
         # Small-input fast path: more workers than the input justifies
         # (or a single-core host) fall back to the serial emission.
         num_workers = tuned_num_workers(

@@ -64,7 +64,34 @@ def transform_trie_rows(
     pairs, rows ascending; combinations where some unit was not applicable
     are absent (exactly the rows where ``Transformation.apply`` returns
     ``None``).
+
+    Under the numpy kernel tier (see :mod:`repro.kernels`) batches large
+    enough to amortize array setup run the vectorized walker of
+    :mod:`repro.kernels.apply`; serve-style micro-batches and the pure
+    Python tier take the loop below.  Results are equal either way.
     """
+    from repro import kernels  # noqa: PLC0415
+
+    if kernels.active_tier() == "numpy":
+        from repro.kernels.apply import (  # noqa: PLC0415
+            _APPLY_MIN_ROWS,
+            available,
+            transform_trie_rows_numpy,
+        )
+
+        if len(values) >= _APPLY_MIN_ROWS and available():
+            return transform_trie_rows_numpy(values, row_offset, trie)
+    return _transform_trie_rows_python(values, row_offset, trie)
+
+
+def _transform_trie_rows_python(
+    values: Sequence[str],
+    row_offset: int,
+    trie: PackedTrie,
+) -> dict[int, list[tuple[int, str]]]:
+    """The reference per-row apply walk — the executable spec both kernel
+    tiers must match (the property tests pin both to
+    ``Transformation.apply``)."""
     outputs: dict[int, list[tuple[int, str]]] = {}
     num_units = trie.num_units
     num_delimiters = trie.num_delimiters
@@ -271,4 +298,8 @@ class TransformationApplier:
         return table
 
 
-__all__ = ["TransformationApplier", "transform_trie_rows"]
+__all__ = [
+    "TransformationApplier",
+    "transform_trie_rows",
+    "_transform_trie_rows_python",
+]

@@ -1,0 +1,117 @@
+"""Process-sharded inverted-index construction.
+
+The matching index build is embarrassingly row-parallel *except* for the
+global dict layout: postings must come out in global first-occurrence
+order with ascending row ids, exactly as the serial
+:meth:`~repro.matching.index.InvertedIndex.build` produces them.  The
+sharded build gets both for free from contiguity:
+
+1. every worker indexes a contiguous ``(start, stop)`` row range into its
+   own partial :class:`~repro.matching.index.InvertedIndex`, adding rows
+   under their *global* ids (ascending within the shard) and never
+   pruning;
+2. the parent merges the partials in shard order via
+   :meth:`~repro.matching.index.InvertedIndex.merged` — a gram's first
+   shard is the shard holding its globally first row, so key insertion
+   order, posting concatenation order, and summed frequencies all
+   reproduce the serial build byte for byte — and prunes stop-grams once
+   with the real cap.
+
+The row texts ship to workers once through the
+:class:`~repro.parallel.executor.ShardedExecutor` (fork inherits them
+copy-on-write; spawn pickles the state a single time).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.matching.index import InvertedIndex
+from repro.parallel.executor import (
+    DEFAULT_MAX_SHARD_RETRIES,
+    ShardedExecutor,
+    worker_state,
+)
+
+
+class IndexBuildShardState:
+    """Read-only state shared with index-build workers."""
+
+    __slots__ = ("rows", "min_size", "max_size", "lowercase")
+
+    def __init__(
+        self,
+        rows: list[str],
+        min_size: int,
+        max_size: int,
+        lowercase: bool,
+    ) -> None:
+        self.rows = rows
+        self.min_size = min_size
+        self.max_size = max_size
+        self.lowercase = lowercase
+
+    def __getstate__(self):
+        return (self.rows, self.min_size, self.max_size, self.lowercase)
+
+    def __setstate__(self, state) -> None:
+        (self.rows, self.min_size, self.max_size, self.lowercase) = state
+
+
+def _index_build_worker(start: int, stop: int) -> InvertedIndex:
+    """Build the partial index over global rows [start, stop)."""
+    state: IndexBuildShardState = worker_state()
+    partial = InvertedIndex(
+        min_size=state.min_size,
+        max_size=state.max_size,
+        lowercase=state.lowercase,
+        stop_gram_cap=0,
+    )
+    rows = state.rows
+    for row_id in range(start, stop):
+        partial.add(row_id, rows[row_id])
+    return partial
+
+
+def sharded_index_build(
+    rows: Sequence[str],
+    *,
+    min_size: int,
+    max_size: int,
+    lowercase: bool = True,
+    stop_gram_cap: int = 0,
+    num_workers: int,
+    start_method: str | None = None,
+    task_timeout: float | None = None,
+    max_shard_retries: int = DEFAULT_MAX_SHARD_RETRIES,
+    serial_fallback: bool = True,
+) -> InvertedIndex:
+    """Build the n-gram index over *rows* across worker processes.
+
+    Byte-identical to ``InvertedIndex.build(rows, ...)`` at any worker
+    count (postings content *and* dict order).  ``task_timeout`` /
+    ``max_shard_retries`` / ``serial_fallback`` configure the executor's
+    recovery behaviour; a shard that ultimately fails falls back to being
+    rebuilt serially in the parent, preserving the result.
+    """
+    rows = list(rows)
+    state = IndexBuildShardState(rows, min_size, max_size, lowercase)
+    executor = ShardedExecutor(
+        state,
+        num_workers=num_workers,
+        start_method=start_method,
+        task_timeout=task_timeout,
+        max_shard_retries=max_shard_retries,
+        serial_fallback=serial_fallback,
+    )
+    shards: list[InvertedIndex] = []
+    with executor:
+        for shard in executor.map_shards(_index_build_worker, len(rows)):
+            shards.append(shard)
+    return InvertedIndex.merged(shards, stop_gram_cap=stop_gram_cap)
+
+
+__all__ = [
+    "IndexBuildShardState",
+    "sharded_index_build",
+]

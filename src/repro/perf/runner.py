@@ -71,13 +71,21 @@ def host_metadata() -> dict:
     """Host facts that make multi-worker numbers comparable across machines.
 
     Parallel speedup is meaningless without knowing how many cores the run
-    had; every BENCH payload embeds this block.
+    had, and a timing is meaningless without knowing which kernel tier
+    produced it — every BENCH payload embeds this block.  ``kernels`` is the
+    resolved tier of this process (see :mod:`repro.kernels`); ``numpy`` is
+    the importable numpy version or ``None``, recorded regardless of tier so
+    a forced-fallback run is distinguishable from a numpy-less host.
     """
+    from repro import kernels  # noqa: PLC0415
+
     return {
         "cpu_count": os.cpu_count() or 1,
         "platform": platform.platform(),
         "python": platform.python_version(),
         "start_method": default_start_method(),
+        "kernels": kernels.active_tier(),
+        "numpy": kernels.numpy_version(),
     }
 
 
@@ -476,6 +484,12 @@ def validate_payload(payload: dict) -> list[str]:
     problems: list[str] = []
     rungs = payload.get("rungs") or []
     is_discovery = payload.get("benchmark") == "discovery"
+    host = payload.get("host") or {}
+    if host and "kernels" not in host:
+        # Without the tier on record a payload cannot be compared to
+        # anything — a numpy-tier number read against a python-tier baseline
+        # (or vice versa) is the classic apples-to-oranges perf mistake.
+        problems.append("host block does not record the kernel tier")
     if not rungs:
         problems.append("no rungs recorded")
     for rung in rungs:
@@ -539,6 +553,17 @@ def compare_to_baseline(
     if factor <= 0:
         raise ValueError(f"factor must be positive, got {factor}")
     problems: list[str] = []
+    current_tier = (payload.get("host") or {}).get("kernels")
+    baseline_tier = (baseline_payload.get("host") or {}).get("kernels")
+    if current_tier and baseline_tier and current_tier != baseline_tier:
+        # Refuse mixed-tier comparisons outright: a python-tier run against
+        # a numpy-tier baseline (or vice versa) measures the tier gap, not a
+        # regression, and any factor threshold applied to it is noise.
+        return [
+            "kernel tiers differ between payload "
+            f"({current_tier}) and baseline ({baseline_tier}); "
+            "timings are not comparable"
+        ]
     baseline_rungs = {
         rung.get("rows"): rung for rung in baseline_payload.get("rungs") or []
     }

@@ -320,6 +320,9 @@ def validate_serve_payload(payload: dict) -> list[str]:
     at or above cold latency means the caches failed to skip the builds.
     """
     problems: list[str] = []
+    host = payload.get("host") or {}
+    if host and "kernels" not in host:
+        problems.append("host block does not record the kernel tier")
     cold = payload.get("cold") or {}
     if not cold.get("first_request_s"):
         problems.append("cold: no first-request latency recorded")

@@ -1,0 +1,400 @@
+"""Kernel tier equivalence: every vectorized path must be byte-identical.
+
+The numpy tier of :mod:`repro.kernels` is an *implementation* of the serial
+Python walkers, never a reinterpretation — so equality here is exact, not
+approximate, at three levels:
+
+* **op level** — every py/np dual in :mod:`repro.kernels.blocks` and
+  :mod:`repro.kernels.bitset` computes elementwise-equal values on
+  randomized inputs;
+* **walker level** — the numpy coverage walker returns the same covered
+  rows *and the same cache statistics* as the reference walk (every cache
+  is per-row, so the tallies are tier-invariant), and the numpy apply
+  walker returns the same ``(row, output)`` pairs as the reference, both
+  pinned to ``Transformation.apply`` row by row;
+* **engine level** — ``CoverageComputer`` produces identical coverage
+  under ``use_tier("python")`` and ``use_tier("numpy")`` across worker
+  counts {1, 2, 3}, and the sharded matching-index build reproduces the
+  serial ``InvertedIndex`` byte for byte (postings *dict order* included)
+  under fork and spawn — the spawn case is what caught the string-hash-seed
+  ordering bug fixed in ``unique_ngrams_by_size``.
+
+numpy-vs-python cases skip themselves when the numpy tier is not active;
+the CI forced-fallback leg (``REPRO_KERNELS=python``) still runs the
+tier-independent cases — dispatch plumbing, sharded index identity — so the
+override path is exercised, not just the tier it selects.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import kernels
+from repro.core.coverage import (
+    CoverageComputer,
+    _build_unit_trie,
+    _walk_trie_rows_python,
+)
+from repro.core.pairs import pairs_from_strings
+from repro.core.transformation import Transformation
+from repro.core.units import Literal, Split, SplitSubstr, Substr
+from repro.kernels import bitset, blocks
+from repro.matching.index import InvertedIndex
+from repro.model.apply import _transform_trie_rows_python
+
+NUMPY_TIER = kernels.numpy_or_none() is not None
+needs_numpy = pytest.mark.skipif(
+    not NUMPY_TIER,
+    reason="numpy tier not active (numpy missing or REPRO_KERNELS=python)",
+)
+
+WORKER_COUNTS = (1, 2, 3)
+
+CELL = st.text(
+    alphabet=string.ascii_lowercase + string.digits + " ,-.", max_size=14
+)
+
+UNITS = st.one_of(
+    st.builds(Literal, st.text(alphabet="ab, ", min_size=0, max_size=3)),
+    st.builds(
+        Substr,
+        st.integers(min_value=0, max_value=6),
+        st.integers(min_value=7, max_value=12),
+    ),
+    st.builds(Split, st.sampled_from([",", " ", "-"]), st.integers(1, 3)),
+    st.builds(
+        SplitSubstr,
+        st.sampled_from([",", " "]),
+        st.integers(1, 2),
+        st.integers(0, 2),
+        st.integers(3, 5),
+    ),
+)
+
+TRANSFORMATIONS = st.lists(
+    st.builds(Transformation, st.lists(UNITS, min_size=1, max_size=4)),
+    min_size=0,
+    max_size=12,
+)
+
+STRING_PAIRS = st.lists(st.tuples(CELL, CELL), min_size=0, max_size=10)
+
+
+# --------------------------------------------------------------------------
+# Op level: the py/np duals of repro.kernels.blocks / repro.kernels.bitset.
+# --------------------------------------------------------------------------
+
+
+@needs_numpy
+@given(statuses=st.lists(st.integers(min_value=0, max_value=2), max_size=60))
+def test_partition_statuses_dual(statuses):
+    assert blocks.partition_statuses_np(statuses) == (
+        blocks.partition_statuses_py(statuses)
+    )
+
+
+@st.composite
+def _startswith_cases(draw):
+    """Rows of (target, prefix, valid start offset) — offsets never exceed
+    the target length, matching the walker's caller guarantee."""
+    targets = draw(st.lists(CELL, max_size=20))
+    prefixes = [
+        draw(st.text(alphabet="ab, .", max_size=4)) for _ in targets
+    ]
+    starts = [
+        draw(st.integers(min_value=0, max_value=len(target)))
+        for target in targets
+    ]
+    return targets, prefixes, starts
+
+
+@needs_numpy
+@given(case=_startswith_cases())
+def test_startswith_at_dual(case):
+    targets, prefixes, starts = case
+    assert blocks.startswith_at_np(targets, prefixes, starts) == (
+        blocks.startswith_at_py(targets, prefixes, starts)
+    )
+
+
+@needs_numpy
+@given(
+    targets=st.lists(CELL, max_size=20),
+    outputs=st.lists(st.text(alphabet="ab, .", max_size=5), max_size=20),
+)
+def test_find_positions_dual(targets, outputs):
+    n = min(len(targets), len(outputs))
+    targets, outputs = targets[:n], outputs[:n]
+    assert blocks.find_positions_np(targets, outputs) == (
+        blocks.find_positions_py(targets, outputs)
+    )
+
+
+@needs_numpy
+@given(
+    member_ends=st.lists(
+        st.integers(min_value=0, max_value=20), max_size=10
+    ).map(sorted),
+    piece_lengths=st.lists(st.integers(min_value=0, max_value=25), max_size=30),
+)
+def test_slice_cuts_dual(member_ends, piece_lengths):
+    assert blocks.slice_cuts_np(member_ends, piece_lengths) == (
+        blocks.slice_cuts_py(member_ends, piece_lengths)
+    )
+
+
+@needs_numpy
+@given(
+    pieces=st.lists(
+        st.text(alphabet="abcde", min_size=6, max_size=12), max_size=20
+    ),
+    start=st.integers(min_value=0, max_value=6),
+    length=st.integers(min_value=0, max_value=6),
+)
+def test_slice_pieces_dual(pieces, start, length):
+    # end <= 6 <= len(piece): the callers' in-bounds guarantee.
+    end = min(start + length, 6)
+    assert blocks.slice_pieces_np(pieces, start, end) == (
+        blocks.slice_pieces_py(pieces, start, end)
+    )
+
+
+@needs_numpy
+@given(texts=st.lists(CELL, max_size=30))
+def test_str_lengths_dual(texts):
+    assert blocks.str_lengths_np(texts) == blocks.str_lengths_py(texts)
+
+
+ROW_SETS = st.lists(
+    st.lists(st.integers(min_value=0, max_value=1200), max_size=40).map(
+        lambda rows: sorted(set(rows))
+    ),
+    max_size=8,
+)
+
+
+@needs_numpy
+@given(row_sets=ROW_SETS)
+def test_bitset_duals(row_sets):
+    masks_py = [bitset.mask_from_rows_py(rows) for rows in row_sets]
+    masks_np = [bitset.mask_from_rows_np(rows) for rows in row_sets]
+    assert masks_py == masks_np
+    for rows, mask in zip(row_sets, masks_py):
+        assert bitset.rows_from_mask_py(mask) == rows
+        assert bitset.rows_from_mask_np(mask) == rows
+    assert bitset.union_masks_np(masks_py) == bitset.union_masks_py(masks_py)
+    assert bitset.popcounts_np(masks_py) == bitset.popcounts_py(masks_py)
+
+
+@given(row_sets=ROW_SETS)
+def test_bitset_dispatchers_roundtrip_on_active_tier(row_sets):
+    # Runs on whichever tier is active — the forced-fallback leg covers the
+    # python dispatch, the default leg the numpy dispatch.
+    masks = [bitset.mask_from_rows(rows) for rows in row_sets]
+    for rows, mask in zip(row_sets, masks):
+        assert bitset.rows_from_mask(mask) == rows
+        assert mask.bit_count() == len(rows)
+    assert bitset.popcounts(masks) == [mask.bit_count() for mask in masks]
+    union = bitset.union_masks(masks)
+    expected = 0
+    for mask in masks:
+        expected |= mask
+    assert union == expected
+
+
+# --------------------------------------------------------------------------
+# Walker level: the block walkers against the serial reference walks.
+# --------------------------------------------------------------------------
+
+
+@needs_numpy
+@settings(deadline=None, max_examples=60)
+@given(
+    string_pairs=STRING_PAIRS,
+    transformations=TRANSFORMATIONS,
+    row_offset=st.sampled_from([0, 7]),
+    use_cache=st.booleans(),
+)
+def test_coverage_walker_identical(
+    string_pairs, transformations, row_offset, use_cache
+):
+    """The numpy coverage walk returns the reference's exact tuple:
+    covered rows per transformation, cache hits/misses, applications,
+    rows processed."""
+    from repro.kernels.coverage import available, walk_trie_rows_numpy
+
+    if not available():
+        pytest.skip("numpy coverage walker not available")
+    pairs = pairs_from_strings(string_pairs)
+    trie = _build_unit_trie(transformations)
+    # Fresh cache state per walk: with use_cache the walkers *write* the
+    # per-row non-covering sets, so sharing one list would leak state from
+    # the reference walk into the kernel walk.
+    reference = _walk_trie_rows_python(
+        pairs, row_offset, trie, [set() for _ in pairs], use_cache
+    )
+    vectorized = walk_trie_rows_numpy(
+        pairs, row_offset, trie, [set() for _ in pairs], use_cache
+    )
+    assert vectorized == reference
+
+
+@needs_numpy
+@settings(deadline=None, max_examples=60)
+@given(
+    values=st.lists(CELL, max_size=12),
+    transformations=TRANSFORMATIONS,
+    row_offset=st.sampled_from([0, 5]),
+)
+def test_apply_walker_identical_and_pinned_to_apply(
+    values, transformations, row_offset
+):
+    from repro.kernels.apply import available, transform_trie_rows_numpy
+
+    if not available():
+        pytest.skip("numpy apply walker not available")
+    trie = _build_unit_trie(transformations)
+    reference = _transform_trie_rows_python(values, row_offset, trie)
+    vectorized = transform_trie_rows_numpy(values, row_offset, trie)
+    assert vectorized == reference
+    # Both walkers are pinned to the unbatched public semantics: entry
+    # (index, row, output) exists iff transformations[index].apply of that
+    # row's value returns output (None = row absent).
+    for index, transformation in enumerate(transformations):
+        produced = dict(reference.get(index, []))
+        for slot, value in enumerate(values):
+            expected = transformation.apply(value)
+            assert produced.get(row_offset + slot) == expected
+
+
+# --------------------------------------------------------------------------
+# Engine level: tiers × worker counts, and the sharded index build.
+# --------------------------------------------------------------------------
+
+
+@needs_numpy
+@settings(deadline=None, max_examples=10)
+@given(
+    string_pairs=st.lists(st.tuples(CELL, CELL), min_size=1, max_size=8),
+    transformations=TRANSFORMATIONS,
+    num_workers=st.sampled_from(WORKER_COUNTS),
+)
+def test_coverage_computer_tier_equivalence(
+    string_pairs, transformations, num_workers
+):
+    """CoverageComputer: python tier serial == numpy tier at any worker
+    count (min_rows_per_worker=0 forces real pools for workers > 1)."""
+    pairs = pairs_from_strings(string_pairs)
+
+    def masks(tier):
+        with kernels.use_tier(tier):
+            computer = CoverageComputer(
+                pairs, num_workers=num_workers, min_rows_per_worker=0
+            )
+            results = computer.coverage_of_all(list(transformations))
+        return [result.covered_mask for result in results], (
+            computer.stats.cache_hits,
+            computer.stats.cache_misses,
+            computer.stats.applications,
+        )
+
+    assert masks("numpy") == masks("python")
+
+
+def _synthetic_rows(count: int) -> list[str]:
+    rng = random.Random(7)
+    words = ["alpha", "beta", "gamma", "delta", "omega", "zeta", "theta"]
+    return [
+        " ".join(rng.choice(words) for _ in range(rng.randint(1, 5)))
+        + str(rng.randint(0, 999))
+        for _ in range(count)
+    ]
+
+
+@pytest.mark.parametrize("start_method", ["fork", "spawn"])
+@pytest.mark.parametrize("stop_gram_cap", [0, 40])
+def test_sharded_index_build_byte_identical(start_method, stop_gram_cap):
+    """The merged sharded index equals the serial build byte for byte —
+    including the *insertion order* of the postings dict, which is what the
+    string-hash-seed bug broke under spawn before ``unique_ngrams_by_size``
+    switched to order-preserving dedup."""
+    import multiprocessing
+
+    from repro.parallel.index_build import sharded_index_build
+
+    if start_method not in multiprocessing.get_all_start_methods():
+        pytest.skip(f"start method {start_method} unavailable")
+    rows = _synthetic_rows(300)
+    serial = InvertedIndex.build(
+        rows, min_size=4, max_size=8, lowercase=True, stop_gram_cap=stop_gram_cap
+    )
+    for num_workers in WORKER_COUNTS:
+        sharded = sharded_index_build(
+            rows,
+            min_size=4,
+            max_size=8,
+            lowercase=True,
+            stop_gram_cap=stop_gram_cap,
+            num_workers=num_workers,
+            start_method=start_method,
+        )
+        assert sharded.num_rows == serial.num_rows
+        assert list(sharded._postings) == list(serial._postings)
+        for gram, postings in serial._postings.items():
+            assert list(sharded._postings[gram]) == list(postings)
+        assert sharded._frequency == serial._frequency
+
+
+@pytest.mark.parametrize("tier", ["python", "numpy"])
+def test_sharded_index_build_tier_invariant(tier):
+    """The index build is string work, not array work — but it runs inside
+    tier-dispatched engines, so pin that both tiers leave it untouched."""
+    if tier == "numpy" and not NUMPY_TIER:
+        pytest.skip("numpy tier not active")
+    from repro.parallel.index_build import sharded_index_build
+
+    rows = _synthetic_rows(120)
+    with kernels.use_tier(tier):
+        serial = InvertedIndex.build(
+            rows, min_size=4, max_size=7, lowercase=True, stop_gram_cap=30
+        )
+        sharded = sharded_index_build(
+            rows,
+            min_size=4,
+            max_size=7,
+            lowercase=True,
+            stop_gram_cap=30,
+            num_workers=2,
+        )
+    assert list(sharded._postings) == list(serial._postings)
+    assert sharded._frequency == serial._frequency
+
+
+@settings(deadline=None, max_examples=25)
+@given(
+    string_pairs=STRING_PAIRS,
+    transformations=TRANSFORMATIONS,
+    use_cache=st.booleans(),
+)
+def test_walker_dispatch_matches_reference_on_active_tier(
+    string_pairs, transformations, use_cache
+):
+    """_walk_trie_rows (the tier dispatcher every engine calls) equals the
+    reference walk on whichever tier this process resolved — under
+    REPRO_KERNELS=python this pins the forced fallback to the spec."""
+    from repro.core.coverage import _walk_trie_rows
+
+    pairs = pairs_from_strings(string_pairs)
+    trie = _build_unit_trie(transformations)
+    reference = _walk_trie_rows_python(
+        pairs, 0, trie, [set() for _ in pairs], use_cache
+    )
+    dispatched = _walk_trie_rows(
+        pairs, 0, trie, [set() for _ in pairs], use_cache
+    )
+    assert dispatched == reference
