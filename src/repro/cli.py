@@ -209,6 +209,61 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="disable coalescing of concurrent same-model requests",
     )
+    serve.add_argument(
+        "--request-timeout-s",
+        type=float,
+        default=30.0,
+        help=(
+            "server-wide request deadline in seconds for requests that send "
+            "no deadline_ms; expired requests answer 504 (0 = unbounded; "
+            "default: %(default)s)"
+        ),
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=32,
+        help=(
+            "maximum concurrently executing join requests; more wait in a "
+            "bounded queue (default: %(default)s)"
+        ),
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        help=(
+            "maximum queued join requests on top of --max-inflight; beyond "
+            "this, requests are shed with 429 (default: %(default)s)"
+        ),
+    )
+    serve.add_argument(
+        "--max-body-mb",
+        type=float,
+        default=8.0,
+        help=(
+            "request-body size cap in MiB; larger bodies answer 413 "
+            "(0 = unbounded; default: %(default)s)"
+        ),
+    )
+    serve.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=5,
+        help=(
+            "consecutive typed failures that open a model's circuit "
+            "breaker (default: %(default)s)"
+        ),
+    )
+    serve.add_argument(
+        "--breaker-cooldown-s",
+        type=float,
+        default=2.0,
+        help=(
+            "open-breaker cool-down before a half-open probe is admitted "
+            "(default: %(default)s)"
+        ),
+    )
     _add_fault_arguments(serve)
     return parser
 
@@ -517,6 +572,12 @@ def run_serve(args: argparse.Namespace) -> int:
         task_timeout_s=args.task_timeout,
         shard_retries=args.shard_retries,
         serial_fallback=not args.no_serial_fallback,
+        request_timeout_s=args.request_timeout_s,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        max_body_bytes=int(args.max_body_mb * 1024 * 1024),
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown_s,
     ) as server:
         server.install_signal_handlers()
         models = server.engine.registry.list_models()

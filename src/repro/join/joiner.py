@@ -22,11 +22,13 @@ import hashlib
 import threading
 from collections.abc import Sequence
 from dataclasses import dataclass, field
+from time import monotonic
 
 from repro.core.coverage import CoverageResult
 from repro.core.transformation import Transformation
 from repro.matching.index import ValueIndex
 from repro.model.apply import TransformationApplier
+from repro.parallel.errors import DeadlineExceededError
 from repro.parallel.executor import env_default_workers
 from repro.table.table import Table
 
@@ -291,8 +293,18 @@ class TransformationJoiner:
         target_values: Sequence[str],
         *,
         target_index: ValueIndex | None = None,
+        deadline: float | None = None,
     ) -> JoinResult:
         """Join two plain value lists; row ids are list positions.
+
+        ``deadline`` (a ``time.monotonic()`` timestamp) bounds the apply
+        stage cooperatively: the remaining budget clamps the sharded
+        executor's map timeout and is checked at block boundaries inside
+        the walkers, so an expired deadline raises
+        :class:`~repro.parallel.errors.DeadlineExceededError` (possibly as
+        the cause of a :class:`~repro.parallel.errors.ShardError`) instead
+        of returning a partial result — responses are complete or typed
+        errors, never a prefix.
 
         The batched path compiles the transformation set once (the compiled
         trie is cached on the joiner, so repeated calls — the apply-many
@@ -311,6 +323,18 @@ class TransformationJoiner:
         list by content digest and reuses the previous index instead of
         rebuilding it on every call.
         """
+        task_timeout = self._task_timeout_s or None
+        if deadline is not None:
+            remaining = deadline - monotonic()
+            if remaining <= 0:
+                raise DeadlineExceededError(
+                    "join deadline expired before the apply stage started"
+                )
+            # The sharded map must not outlive the request: the configured
+            # per-map timeout still applies, but never beyond the budget.
+            task_timeout = (
+                remaining if task_timeout is None else min(task_timeout, remaining)
+            )
         if not self._use_batched_apply:
             return self.join_values_reference(source_values, target_values)
         key: bytes | None = None
@@ -345,9 +369,10 @@ class TransformationJoiner:
             source_values,
             num_workers=self._num_workers,
             min_rows_per_worker=self._min_rows_per_worker,
-            task_timeout=self._task_timeout_s or None,
+            task_timeout=task_timeout,
             shard_retries=self._shard_retries,
             serial_fallback=self._serial_fallback,
+            deadline=deadline,
         )
 
         result = JoinResult()

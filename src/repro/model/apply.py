@@ -36,6 +36,7 @@ serial walk.
 from __future__ import annotations
 
 from collections.abc import Sequence
+from time import monotonic
 
 from repro.core.coverage import (
     _OP_LITERAL,
@@ -47,13 +48,23 @@ from repro.core.coverage import (
     _build_unit_trie,
 )
 from repro.core.transformation import Transformation
+from repro.parallel.errors import DeadlineExceededError
 from repro.parallel.executor import tuned_num_workers
+
+#: Row-block granularity of the cooperative deadline checks: with a
+#: deadline set, the walk dispatches one block at a time and checks the
+#: clock between blocks — the same boundary discipline as the budgeted
+#: coverage walk, so a hung or overlong apply stops burning CPU within one
+#: block of the deadline instead of finishing the whole batch.
+_DEADLINE_BLOCK_ROWS = 1024
 
 
 def transform_trie_rows(
     values: Sequence[str],
     row_offset: int,
     trie: PackedTrie,
+    *,
+    deadline: float | None = None,
 ) -> dict[int, list[tuple[int, str]]]:
     """Apply every transformation of *trie* to every value of *values*.
 
@@ -69,7 +80,50 @@ def transform_trie_rows(
     enough to amortize array setup run the vectorized walker of
     :mod:`repro.kernels.apply`; serve-style micro-batches and the pure
     Python tier take the loop below.  Results are equal either way.
+
+    ``deadline`` (a ``time.monotonic()`` timestamp; ``CLOCK_MONOTONIC`` is
+    system-wide, so sharded workers can honour a deadline computed in the
+    parent) bounds the walk cooperatively at
+    :data:`_DEADLINE_BLOCK_ROWS`-row block boundaries.  Unlike the budgeted
+    coverage walk — which degrades to the rows walked in time — an apply
+    caller needs *complete* outputs or none (a served join response must be
+    byte-identical to the offline result, never a prefix of it), so an
+    expired deadline raises :class:`DeadlineExceededError` instead of
+    truncating.  Results of a run that completes under a deadline are
+    byte-identical to an unbounded run.
     """
+    if deadline is None:
+        return _dispatch_trie_rows(values, row_offset, trie)
+    outputs: dict[int, list[tuple[int, str]]] = {}
+    total = len(values)
+    for start in range(0, total, _DEADLINE_BLOCK_ROWS):
+        if monotonic() >= deadline:
+            raise DeadlineExceededError(
+                f"apply deadline expired after {start} of {total} rows"
+            )
+        block = _dispatch_trie_rows(
+            values[start : start + _DEADLINE_BLOCK_ROWS],
+            row_offset + start,
+            trie,
+        )
+        # Blocks are processed in ascending row order, so extending keeps
+        # every transformation's (row, output) list ascending — identical
+        # to the unblocked walk.
+        for index, pairs in block.items():
+            existing = outputs.get(index)
+            if existing is None:
+                outputs[index] = pairs
+            else:
+                existing.extend(pairs)
+    return outputs
+
+
+def _dispatch_trie_rows(
+    values: Sequence[str],
+    row_offset: int,
+    trie: PackedTrie,
+) -> dict[int, list[tuple[int, str]]]:
+    """Run one batch through the kernel tier's walker (no deadline logic)."""
     from repro import kernels  # noqa: PLC0415
 
     if kernels.active_tier() == "numpy":
@@ -237,6 +291,7 @@ class TransformationApplier:
         task_timeout: float | None = None,
         shard_retries: int = 2,
         serial_fallback: bool = True,
+        deadline: float | None = None,
     ) -> dict[int, list[tuple[int, str]]]:
         """Outputs of every transformation over *values*.
 
@@ -248,7 +303,10 @@ class TransformationApplier:
         take the serial path regardless — results are identical either way.
         ``task_timeout``/``shard_retries``/``serial_fallback`` configure the
         sharded path's fault tolerance (see
-        :class:`~repro.parallel.executor.ShardedExecutor`).
+        :class:`~repro.parallel.executor.ShardedExecutor`); ``deadline`` is
+        the cooperative monotonic cut honoured at block boundaries in the
+        walkers, serial and sharded alike (see
+        :func:`transform_trie_rows`).
         """
         if self._trie is None or not values:
             return {}
@@ -267,8 +325,9 @@ class TransformationApplier:
                 task_timeout=task_timeout,
                 max_shard_retries=shard_retries,
                 serial_fallback=serial_fallback,
+                deadline=deadline,
             )
-        return transform_trie_rows(values, 0, self._trie)
+        return transform_trie_rows(values, 0, self._trie, deadline=deadline)
 
     def apply_all(
         self,

@@ -34,7 +34,12 @@ a serial inline fallback that recomputes only the failed shards — so the
 merged result stays byte-identical even on a flaky pool.
 """
 
-from repro.parallel.errors import ShardError, ShardTimeoutError, WorkerCrashError
+from repro.parallel.errors import (
+    DeadlineExceededError,
+    ShardError,
+    ShardTimeoutError,
+    WorkerCrashError,
+)
 from repro.parallel.executor import (
     ShardedExecutor,
     default_start_method,
@@ -47,6 +52,7 @@ from repro.parallel.executor import (
 )
 
 __all__ = [
+    "DeadlineExceededError",
     "ShardError",
     "ShardTimeoutError",
     "ShardedExecutor",

@@ -27,6 +27,25 @@ stderr + exit-code contract.
 from __future__ import annotations
 
 
+class DeadlineExceededError(RuntimeError):
+    """A cooperative wall-clock deadline expired inside a batched walk.
+
+    Raised by the apply walker's blocked deadline checks (see
+    :func:`repro.model.apply.transform_trie_rows`) when the caller-supplied
+    ``time.monotonic()`` deadline passes — inside a pool worker or in the
+    serial path alike.  Unlike :class:`ShardTimeoutError` (the *parent*
+    noticing a shard missed the map deadline), this is the *worker itself*
+    stopping at the next block boundary instead of burning CPU on rows
+    nobody will wait for.  Deliberately **not** a :class:`ShardError`: it is
+    raised by serial code paths too, and it is deterministic — the executor
+    never retries it (the deadline cannot un-expire).
+
+    The serving layer maps it (directly, or as the cause of a
+    :class:`ShardError`) to its own 504 taxonomy; see
+    :mod:`repro.serve.errors`.
+    """
+
+
 class ShardError(RuntimeError):
     """A shard could not be computed, in the pool or inline.
 
@@ -76,4 +95,9 @@ class ShardTimeoutError(ShardError):
     """
 
 
-__all__ = ["ShardError", "ShardTimeoutError", "WorkerCrashError"]
+__all__ = [
+    "DeadlineExceededError",
+    "ShardError",
+    "ShardTimeoutError",
+    "WorkerCrashError",
+]

@@ -61,7 +61,12 @@ import time
 from collections.abc import Callable, Sequence
 from typing import Any
 
-from repro.parallel.errors import ShardError, ShardTimeoutError, WorkerCrashError
+from repro.parallel.errors import (
+    DeadlineExceededError,
+    ShardError,
+    ShardTimeoutError,
+    WorkerCrashError,
+)
 
 #: Distinct "not installed" marker, so that None remains a valid shared state.
 _STATE_NOT_INSTALLED: Any = object()
@@ -636,6 +641,11 @@ class ShardedExecutor:
                     cause=exc,
                 )
                 error.__cause__ = exc
+                if isinstance(exc, DeadlineExceededError):
+                    # Deterministic, like a map timeout: the cooperative
+                    # deadline the worker hit cannot un-expire, so retries
+                    # (and backoff sleeps) would only delay the failure.
+                    break
             if attempts > self._max_shard_retries:
                 break
             backoff = self._retry_backoff_s * (2 ** (attempts - 1))

@@ -30,25 +30,39 @@ from repro.parallel.executor import (
 
 
 class TransformShardState:
-    """Read-only state shared with transform workers: values + frozen trie."""
+    """Read-only state shared with transform workers: values + frozen trie.
 
-    __slots__ = ("values", "trie")
+    ``deadline`` is an optional ``time.monotonic()`` timestamp computed in
+    the parent; ``CLOCK_MONOTONIC`` is system-wide, so workers compare it
+    against their own clock to stop cooperatively at the next block
+    boundary (see :func:`~repro.model.apply.transform_trie_rows`).
+    """
 
-    def __init__(self, values: list[str], trie: PackedTrie) -> None:
+    __slots__ = ("values", "trie", "deadline")
+
+    def __init__(
+        self,
+        values: list[str],
+        trie: PackedTrie,
+        deadline: float | None = None,
+    ) -> None:
         self.values = values
         self.trie = trie
+        self.deadline = deadline
 
     def __getstate__(self):
-        return (self.values, self.trie)
+        return (self.values, self.trie, self.deadline)
 
     def __setstate__(self, state) -> None:
-        self.values, self.trie = state
+        self.values, self.trie, self.deadline = state
 
 
 def _transform_worker(start: int, stop: int) -> dict[int, list[tuple[int, str]]]:
     """Transform the shared values in ``[start, stop)`` (global row ids)."""
     state: TransformShardState = worker_state()
-    return transform_trie_rows(state.values[start:stop], start, state.trie)
+    return transform_trie_rows(
+        state.values[start:stop], start, state.trie, deadline=state.deadline
+    )
 
 
 def sharded_transform(
@@ -60,6 +74,7 @@ def sharded_transform(
     task_timeout: float | None = None,
     max_shard_retries: int = DEFAULT_MAX_SHARD_RETRIES,
     serial_fallback: bool = True,
+    deadline: float | None = None,
 ) -> dict[int, list[tuple[int, str]]]:
     """Apply the trie's transformations to *values*, sharded by row.
 
@@ -67,9 +82,12 @@ def sharded_transform(
     :func:`~repro.model.apply.transform_trie_rows` over all rows —
     byte-identical to the serial kernel.  ``task_timeout``/
     ``max_shard_retries``/``serial_fallback`` configure the executor's
-    recovery behaviour.
+    recovery behaviour; ``deadline`` (a monotonic timestamp) is honoured
+    cooperatively inside every worker, raising
+    :class:`~repro.parallel.errors.DeadlineExceededError` at the next
+    block boundary once expired.
     """
-    state = TransformShardState(list(values), trie)
+    state = TransformShardState(list(values), trie, deadline)
     outputs: dict[int, list[tuple[int, str]]] = {}
     executor = ShardedExecutor(
         state,

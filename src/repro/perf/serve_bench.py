@@ -67,6 +67,9 @@ class ServeBenchConfig:
     num_workers: int | None = None
     micro_batch: bool = True
     min_support: float = 0.05
+    #: Per-request socket timeout of the closed-loop clients — a hung
+    #: server surfaces as a counted error, not a wedged benchmark.
+    client_timeout_s: float = 30.0
 
 
 @dataclass
@@ -77,6 +80,12 @@ class _ClientTally:
     errors: int = 0
     verified: int = 0
     mismatches: int = 0
+    shed: int = 0
+    deadline_exceeded: int = 0
+
+
+#: Fallback backoff after a 429 without a parsable Retry-After, seconds.
+_SHED_BACKOFF_S = 0.05
 
 
 def _client_loop(
@@ -87,10 +96,17 @@ def _client_loop(
     expected_pairs: list[list[int]],
     deadline: float,
     tally: _ClientTally,
+    timeout_s: float = 30.0,
 ) -> None:
-    """Closed loop: request, await, verify (sampled), repeat until deadline."""
+    """Closed loop: request, await, verify (sampled), repeat until deadline.
+
+    Resilience-aware: a 429 (admission shed) is counted and retried after
+    the server's ``Retry-After`` hint — expected behaviour under load, not
+    an error; a 504 (expired deadline) counts as both.  The per-request
+    socket timeout keeps a hung server from wedging the whole benchmark.
+    """
     headers = {"Content-Type": "application/json"}
-    connection = HTTPConnection(host, port, timeout=60)
+    connection = HTTPConnection(host, port, timeout=timeout_s)
     request_index = 0
     try:
         while time.perf_counter() < deadline:
@@ -100,13 +116,28 @@ def _client_loop(
                 response = connection.getresponse()
                 raw = response.read()
                 elapsed = time.perf_counter() - started
+                if response.status == 429:
+                    tally.shed += 1
+                    try:
+                        backoff = float(response.getheader("Retry-After") or "")
+                    except ValueError:
+                        backoff = _SHED_BACKOFF_S
+                    # Honour the hint, but never sleep past the level end.
+                    time.sleep(
+                        min(backoff, max(deadline - time.perf_counter(), 0.0))
+                    )
+                    continue
+                if response.status == 504:
+                    tally.deadline_exceeded += 1
+                    tally.errors += 1
+                    continue
                 if response.status != 200:
                     tally.errors += 1
                     continue
             except OSError:
                 tally.errors += 1
                 connection.close()
-                connection = HTTPConnection(host, port, timeout=60)
+                connection = HTTPConnection(host, port, timeout=timeout_s)
                 continue
             tally.latencies.append(elapsed)
             if request_index % _VERIFY_EVERY == 0:
@@ -232,6 +263,7 @@ def run_serve_benchmark(config: ServeBenchConfig | None = None) -> dict:
                             expected_pairs,
                             deadline,
                             tally,
+                            config.client_timeout_s,
                         ),
                         name=f"serve-bench-c{concurrency}-{index}",
                     )
@@ -248,10 +280,16 @@ def run_serve_benchmark(config: ServeBenchConfig | None = None) -> dict:
                 errors = sum(tally.errors for tally in tallies)
                 verified = sum(tally.verified for tally in tallies)
                 mismatches = sum(tally.mismatches for tally in tallies)
+                shed = sum(tally.shed for tally in tallies)
+                deadline_exceeded = sum(
+                    tally.deadline_exceeded for tally in tallies
+                )
                 level: dict = {
                     "concurrency": concurrency,
                     "requests": len(latencies),
                     "errors": errors,
+                    "shed": shed,
+                    "deadline_exceeded": deadline_exceeded,
                     "duration_s": level_elapsed,
                     "rps": len(latencies) / level_elapsed if level_elapsed else 0.0,
                     "verified_responses": verified,
@@ -261,7 +299,14 @@ def run_serve_benchmark(config: ServeBenchConfig | None = None) -> dict:
                     level["latency"] = _latency_summary(latencies)
                 levels.append(level)
 
-            server_stats = server.engine.stats()
+            # The full /stats payload — engine/cache counters plus the
+            # resilience layer's admission gauges and shed/deadline totals.
+            stats_connection = HTTPConnection(host, port, timeout=30)
+            try:
+                stats_connection.request("GET", "/stats")
+                server_stats = json.loads(stats_connection.getresponse().read())
+            finally:
+                stats_connection.close()
 
     # Warm latency is judged at concurrency 1 — higher levels measure
     # queueing, not the cache's build-skipping.
@@ -287,6 +332,7 @@ def run_serve_benchmark(config: ServeBenchConfig | None = None) -> dict:
             "num_workers": config.num_workers,
             "micro_batch": config.micro_batch,
             "min_support": config.min_support,
+            "client_timeout_s": config.client_timeout_s,
         },
         "model": {
             "name": "bench",
@@ -340,6 +386,16 @@ def validate_serve_payload(payload: dict) -> list[str]:
             problems.append(f"{label}: no requests completed")
         if level.get("errors", 0) != 0:
             problems.append(f"{label}: {level.get('errors')} request errors")
+        for counter in ("shed", "deadline_exceeded"):
+            if counter not in level:
+                problems.append(
+                    f"{label}: resilience counter {counter!r} missing"
+                )
+            elif level[counter] != 0:
+                # The ladder runs far below the admission bounds and with
+                # the generous default deadline; any shedding or expiry
+                # here means the resilience layer misfired.
+                problems.append(f"{label}: {level[counter]} {counter} requests")
         if level.get("rps", 0) <= 0:
             problems.append(f"{label}: requests/sec missing or non-positive")
         if not level.get("matches_offline"):

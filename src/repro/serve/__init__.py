@@ -20,6 +20,14 @@ that exploits it as a long-lived process instead of cold one-shot applies:
     SIGTERM.
 ``repro.serve.errors``
     The typed error taxonomy the server maps to 4xx/5xx JSON bodies.
+``repro.serve.admission``
+    :class:`AdmissionController` — bounded in-flight concurrency plus a
+    bounded wait queue in front of the join handler; beyond both, requests
+    are shed with 429 + ``Retry-After``.
+``repro.serve.breaker``
+    :class:`CircuitBreaker` — per-model consecutive-failure gates that
+    fail fast (503) while a model keeps failing, with half-open probes and
+    immediate reopening on a changed artifact mtime.
 
 Typical usage::
 
@@ -31,19 +39,29 @@ Typical usage::
 or from the command line: ``python -m repro serve --models models/``.
 """
 
+from repro.serve.admission import AdmissionController
+from repro.serve.breaker import CircuitBreaker
 from repro.serve.cache import LRUCache
 from repro.serve.engine import MicroBatcher, ServeEngine, ServeResponse, apply_iter
 from repro.serve.errors import (
     BadRequestError,
+    CircuitOpenError,
+    DeadlineExceededError,
     ModelLoadError,
     ModelNotFoundError,
+    OverloadedError,
+    PayloadTooLargeError,
     ServeError,
 )
 from repro.serve.registry import ModelEntry, ModelRegistry
 from repro.serve.server import JoinServer, LatencyStats
 
 __all__ = [
+    "AdmissionController",
     "BadRequestError",
+    "CircuitBreaker",
+    "CircuitOpenError",
+    "DeadlineExceededError",
     "JoinServer",
     "LRUCache",
     "LatencyStats",
@@ -52,6 +70,8 @@ __all__ = [
     "ModelLoadError",
     "ModelNotFoundError",
     "ModelRegistry",
+    "OverloadedError",
+    "PayloadTooLargeError",
     "ServeEngine",
     "ServeError",
     "ServeResponse",

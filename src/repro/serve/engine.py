@@ -21,6 +21,7 @@ Two serving shapes live here, both built on the warm artifacts of the
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from bisect import bisect_right
@@ -29,7 +30,27 @@ from dataclasses import dataclass
 
 from repro.join.joiner import JoinResult, TransformationJoiner, target_values_key
 from repro.model.artifact import TransformationModel
+from repro.parallel.errors import DeadlineExceededError as CoreDeadlineExceededError
+from repro.parallel.errors import ShardError, ShardTimeoutError
+from repro.serve.breaker import (
+    DEFAULT_COOLDOWN_S,
+    DEFAULT_FAILURE_THRESHOLD,
+    CircuitBreaker,
+)
+from repro.serve.errors import DeadlineExceededError, ModelLoadError
 from repro.serve.registry import ModelRegistry
+
+#: Duplicated from :mod:`repro.testing.faults` so the zero-cost guard below
+#: needs no import when injection is off (same pattern as the executor).
+_FAULT_ENV = "REPRO_FAULT_INJECT"
+
+
+def _maybe_inject(site: str, deadline: float | None) -> None:
+    """Consult the serve-scoped fault hook (near-zero cost when unset)."""
+    if os.environ.get(_FAULT_ENV):
+        from repro.testing.faults import maybe_inject_serve  # noqa: PLC0415
+
+        maybe_inject_serve(site, deadline=deadline)
 
 
 def apply_iter(
@@ -96,13 +117,32 @@ class ServeResponse:
 
 
 class _PendingRequest:
-    """One caller's slot in a micro-batch."""
+    """One caller's slot in a micro-batch.
 
-    __slots__ = ("source_values", "target_values", "event", "result", "error", "size")
+    ``deadline`` is the caller's own monotonic budget (``None`` =
+    unbounded); the batch executes under the *loosest* member deadline and
+    each member still times out individually on its own.
+    """
 
-    def __init__(self, source_values: list[str], target_values: list[str]) -> None:
+    __slots__ = (
+        "source_values",
+        "target_values",
+        "deadline",
+        "event",
+        "result",
+        "error",
+        "size",
+    )
+
+    def __init__(
+        self,
+        source_values: list[str],
+        target_values: list[str],
+        deadline: float | None = None,
+    ) -> None:
         self.source_values = source_values
         self.target_values = target_values
+        self.deadline = deadline
         self.event = threading.Event()
         self.result: tuple[JoinResult, bool] | None = None
         self.error: BaseException | None = None
@@ -156,10 +196,22 @@ class MicroBatcher:
         self._largest_batch = 0
 
     def submit(
-        self, key, source_values: list[str], target_values: list[str]
+        self,
+        key,
+        source_values: list[str],
+        target_values: list[str],
+        *,
+        deadline: float | None = None,
     ) -> tuple[JoinResult, bool, int]:
-        """Run (or join) the batch for *key*; returns ``(result, warm, size)``."""
-        request = _PendingRequest(source_values, target_values)
+        """Run (or join) the batch for *key*; returns ``(result, warm, size)``.
+
+        ``deadline`` is this caller's monotonic budget.  A follower whose
+        budget expires while the leader is still executing stops waiting
+        and raises the core
+        :class:`~repro.parallel.errors.DeadlineExceededError` — its slot
+        simply goes unread; the leader and other members are unaffected.
+        """
+        request = _PendingRequest(source_values, target_values, deadline)
         with self._lock:
             self._requests += 1
             batch = self._pending.get(key)
@@ -202,8 +254,14 @@ class MicroBatcher:
             finally:
                 for queued in requests:
                     queued.event.set()
-        else:
+        elif request.deadline is None:
             request.event.wait()
+        elif not request.event.wait(
+            max(request.deadline - time.monotonic(), 0.0)
+        ):
+            raise CoreDeadlineExceededError(
+                "request deadline expired waiting for the micro-batch result"
+            )
         if request.error is not None:
             raise request.error
         assert request.result is not None
@@ -240,6 +298,8 @@ class ServeEngine:
         micro_batch: bool = True,
         max_batch_size: int = 32,
         max_batch_wait_s: float = 0.002,
+        breaker_threshold: int = DEFAULT_FAILURE_THRESHOLD,
+        breaker_cooldown_s: float = DEFAULT_COOLDOWN_S,
     ) -> None:
         self._registry = registry
         self._micro_batch = micro_batch
@@ -248,6 +308,14 @@ class ServeEngine:
             max_batch_size=max_batch_size,
             max_wait_s=max_batch_wait_s,
         )
+        self._breaker_threshold = breaker_threshold
+        self._breaker_cooldown_s = breaker_cooldown_s
+        # Per-model breakers, created lazily on the first *countable*
+        # failure — a stream of 404s for made-up names must not grow this
+        # map (nor can a client open a breaker with them: only typed
+        # model/apply failures count).
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._breaker_lock = threading.Lock()
 
     @property
     def registry(self) -> ModelRegistry:
@@ -262,8 +330,41 @@ class ServeEngine:
         name: str,
         source_values: Sequence[str],
         target_values: Sequence[str],
+        *,
+        deadline: float | None = None,
     ) -> ServeResponse:
-        """Serve one join request; byte-identical to the offline apply path."""
+        """Serve one join request; byte-identical to the offline apply path.
+
+        ``deadline`` (monotonic) bounds the whole request — batch wait,
+        apply, and split — surfacing as the serve-layer
+        :class:`~repro.serve.errors.DeadlineExceededError` (504).  The
+        model's circuit breaker gates entry
+        (:class:`~repro.serve.errors.CircuitOpenError` when open) and is
+        fed the typed outcome.
+        """
+        breaker = self._breakers.get(name)
+        if breaker is not None:
+            breaker.acquire()
+        try:
+            response = self._join_once(name, source_values, target_values, deadline)
+        except BaseException as error:  # noqa: BLE001 - typed remap + breaker
+            mapped = self._map_failure(error, deadline)
+            self._record_failure(name, breaker, mapped)
+            if mapped is error:
+                raise
+            raise mapped from error
+        if breaker is not None:
+            breaker.record_success()
+        return response
+
+    def _join_once(
+        self,
+        name: str,
+        source_values: Sequence[str],
+        target_values: Sequence[str],
+        deadline: float | None,
+    ) -> ServeResponse:
+        """The un-gated request path (breaker handling lives in ``join``)."""
         started = time.perf_counter()
         source_list = list(source_values)
         target_list = list(target_values)
@@ -271,11 +372,20 @@ class ServeEngine:
             # Coalescing is only sound for requests that join against the
             # same model *and* the same target column — the key says so.
             key = (name, target_values_key(target_list))
-            result, warm, size = self._batcher.submit(key, source_list, target_list)
+            result, warm, size = self._batcher.submit(
+                key, source_list, target_list, deadline=deadline
+            )
         else:
-            request = _PendingRequest(source_list, target_list)
+            request = _PendingRequest(source_list, target_list, deadline)
             (result, warm), = self._execute_batch((name, None), [request])
             size = 1
+        if deadline is not None and time.monotonic() >= deadline:
+            # The batch ran under the loosest member deadline; a stricter
+            # member whose own budget lapsed meanwhile still gets the typed
+            # 504, never a late response.
+            raise DeadlineExceededError(
+                "request deadline expired before the response was assembled"
+            )
         elapsed = time.perf_counter() - started
         return ServeResponse(
             model=name,
@@ -285,6 +395,93 @@ class ServeEngine:
             coalesced=size,
             elapsed_s=elapsed,
         )
+
+    # ------------------------------------------------------------------ #
+    # Failure mapping and breaker bookkeeping
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _map_failure(error: BaseException, deadline: float | None) -> BaseException:
+        """Remap core deadline cuts to the serve-layer 504 type.
+
+        The cooperative deadline surfaces in three shapes: raised directly
+        (serial paths, queue waits, follower timeouts), as the cause chained
+        through a :class:`~repro.parallel.errors.ShardError` (a pool worker
+        hit it), or as a :class:`~repro.parallel.errors.ShardTimeoutError`
+        whose map timeout was the clamped request budget.  All three become
+        :class:`~repro.serve.errors.DeadlineExceededError`; everything else
+        passes through unchanged.
+        """
+        if isinstance(error, CoreDeadlineExceededError):
+            return DeadlineExceededError(str(error))
+        if isinstance(error, ShardError):
+            cause = error.cause or error.__cause__
+            seen: set[int] = set()
+            while cause is not None and id(cause) not in seen:
+                if isinstance(cause, CoreDeadlineExceededError):
+                    return DeadlineExceededError(
+                        f"request deadline expired inside the sharded apply: "
+                        f"{error}"
+                    )
+                seen.add(id(cause))
+                cause = getattr(cause, "cause", None) or cause.__cause__
+            if (
+                isinstance(error, ShardTimeoutError)
+                and deadline is not None
+                and time.monotonic() >= deadline
+            ):
+                return DeadlineExceededError(
+                    f"request deadline expired waiting on the sharded apply: "
+                    f"{error}"
+                )
+        return error
+
+    def _record_failure(
+        self, name: str, breaker: CircuitBreaker | None, error: BaseException
+    ) -> None:
+        """Feed one failed request's typed outcome to the model's breaker.
+
+        Countable failures are the model/apply taxonomy — a corrupt reload,
+        a shard failure, an expired deadline, an injected fault.  Client
+        mistakes (bad request, unknown model) are *aborts*: they say
+        nothing about the model's health and must not trip (or hold open)
+        the breaker.
+        """
+        if breaker is None and not self._countable(error):
+            return
+        if breaker is None:
+            with self._breaker_lock:
+                breaker = self._breakers.get(name)
+                if breaker is None:
+                    breaker = self._breakers[name] = CircuitBreaker(
+                        name,
+                        failure_threshold=self._breaker_threshold,
+                        cooldown_s=self._breaker_cooldown_s,
+                        mtime_fn=lambda: self._registry.peek_mtime_ns(name),
+                    )
+        if self._countable(error):
+            breaker.record_failure()
+        else:
+            breaker.record_abort()
+
+    @staticmethod
+    def _countable(error: BaseException) -> bool:
+        if isinstance(
+            error,
+            (
+                ModelLoadError,
+                ShardError,
+                DeadlineExceededError,
+                CoreDeadlineExceededError,
+            ),
+        ):
+            return True
+        # Injected serve faults count like the real failures they stand in
+        # for; lazy import keeps the testing module out of the hot path.
+        if type(error).__name__ == "FaultInjected":
+            from repro.testing.faults import FaultInjected  # noqa: PLC0415
+
+            return isinstance(error, FaultInjected)
+        return False
 
     def apply_iter(
         self,
@@ -304,10 +501,16 @@ class ServeEngine:
             )
 
     def stats(self) -> dict:
-        """Registry cache counters plus micro-batcher counters."""
+        """Registry cache, micro-batcher, and circuit-breaker counters."""
+        with self._breaker_lock:
+            breakers = {
+                name: breaker.snapshot()
+                for name, breaker in self._breakers.items()
+            }
         return {
             "registry": self._registry.stats(),
             "micro_batcher": self._batcher.stats(),
+            "breakers": breakers,
         }
 
     # ------------------------------------------------------------------ #
@@ -326,15 +529,31 @@ class ServeEngine:
         request's row range out of that stream preserves both orders and
         the first-match attribution, hence the per-request results equal
         what each request would have computed alone.
+
+        The shared apply runs under the *loosest* member deadline (``None``
+        if any member is unbounded): a strict member must not starve the
+        batch mates who still have budget — it times out individually in
+        :meth:`MicroBatcher.submit` (followers) or via the post-hoc check
+        in :meth:`join` (the leader) instead.
         """
         name = key[0]
-        joiner, _entry, joiner_hit = self._registry.joiner_for(name)
+        deadline: float | None = None
+        member_deadlines = [request.deadline for request in requests]
+        if all(d is not None for d in member_deadlines):
+            deadline = max(member_deadlines)
+        _maybe_inject("engine", deadline)
+        joiner, _entry, joiner_hit = self._registry.joiner_for(
+            name, deadline=deadline
+        )
         target_values = requests[0].target_values
         index, index_hit = self._registry.target_index_for(joiner, target_values)
         warm = joiner_hit and index_hit
         if len(requests) == 1:
             result = joiner.join_values(
-                requests[0].source_values, target_values, target_index=index
+                requests[0].source_values,
+                target_values,
+                target_index=index,
+                deadline=deadline,
             )
             return [(result, warm)]
         offsets: list[int] = []
@@ -343,7 +562,7 @@ class ServeEngine:
             offsets.append(len(concatenated))
             concatenated.extend(request.source_values)
         combined = joiner.join_values(
-            concatenated, target_values, target_index=index
+            concatenated, target_values, target_index=index, deadline=deadline
         )
         split: list[JoinResult] = [JoinResult() for _ in requests]
         for pair in combined.pairs:

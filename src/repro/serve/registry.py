@@ -22,6 +22,7 @@ directory into a serving catalogue:
 
 from __future__ import annotations
 
+import os
 import re
 import threading
 from collections.abc import Sequence
@@ -118,7 +119,7 @@ class ModelRegistry:
             if _SAFE_NAME.match(path.stem)
         )
 
-    def get(self, name: str) -> ModelEntry:
+    def get(self, name: str, *, deadline: float | None = None) -> ModelEntry:
         """The current entry for *name*, loading or reloading as needed.
 
         Raises :class:`BadRequestError` for unusable names,
@@ -127,9 +128,20 @@ class ModelRegistry:
         entry is cached (keyed by mtime), so a broken artifact is not
         re-parsed on every request, and fixing the file on disk clears the
         error on the next lookup.
+
+        This is the ``registry`` serve-fault site: the hook fires before
+        the lock is taken (a hung registry must not wedge every *other*
+        model's lookups) and before any entry is cached, so an injected
+        fault surfaces typed per request and removing it restores service
+        without touching the file.  ``deadline`` lets an injected hang be
+        cut cooperatively at the request's budget.
         """
         if not _SAFE_NAME.match(name):
             raise BadRequestError(f"invalid model name {name!r}")
+        if os.environ.get("REPRO_FAULT_INJECT"):
+            from repro.testing.faults import maybe_inject_serve  # noqa: PLC0415
+
+            maybe_inject_serve("registry", deadline=deadline)
         path = self._dir / f"{name}.json"
         try:
             mtime_ns = path.stat().st_mtime_ns
@@ -160,10 +172,27 @@ class ModelRegistry:
             return ModelEntry(name=name, path=path, mtime_ns=mtime_ns, error=error)
         return ModelEntry(name=name, path=path, mtime_ns=mtime_ns, model=model)
 
+    def peek_mtime_ns(self, name: str) -> int | None:
+        """The model file's current mtime, or ``None`` when absent.
+
+        A lock-free ``stat`` — cheap enough for the circuit breaker to call
+        on *rejected* requests to detect that an operator shipped a fixed
+        artifact (changed mtime ⇒ admit a probe immediately instead of
+        waiting out the cool-down).
+        """
+        if not _SAFE_NAME.match(name):
+            return None
+        try:
+            return (self._dir / f"{name}.json").stat().st_mtime_ns
+        except OSError:
+            return None
+
     # ------------------------------------------------------------------ #
     # Warm compiled artifacts
     # ------------------------------------------------------------------ #
-    def joiner_for(self, name: str) -> tuple[TransformationJoiner, ModelEntry, bool]:
+    def joiner_for(
+        self, name: str, *, deadline: float | None = None
+    ) -> tuple[TransformationJoiner, ModelEntry, bool]:
         """``(joiner, entry, cache_hit)`` for *name*'s current artifact.
 
         The joiner is built fresh on a miss (deliberately *not* through the
@@ -173,7 +202,7 @@ class ModelRegistry:
         most-recent-target index build lazily on first use, which is
         exactly the cold-request cost the warm path skips.
         """
-        entry = self.get(name)
+        entry = self.get(name, deadline=deadline)
         model = entry.model
         assert model is not None  # get() raised otherwise
 

@@ -5,8 +5,10 @@ One server process keeps a :class:`~repro.serve.registry.ModelRegistry` of
 fitted models warm and exposes:
 
 ``POST /join/<model>``
-    Body ``{"source": [...], "target": [...]}`` (lists of strings).  Joins
-    the source values against the target values with the named model's
+    Body ``{"source": [...], "target": [...]}`` (lists of strings), plus an
+    optional ``"deadline_ms"`` — this request's wall-clock budget (the
+    server-wide ``request_timeout_s`` applies otherwise).  Joins the source
+    values against the target values with the named model's
     transformations; the response carries the joined ``pairs`` (identical —
     same pairs, same order — to offline
     :meth:`~repro.join.pipeline.JoinPipeline.apply`), per-pair ``matched_by``
@@ -14,17 +16,23 @@ fitted models warm and exposes:
 ``GET /models``
     The registry catalogue, per-model load errors included inline.
 ``GET /stats``
-    Uptime, request/error totals, per-model latency quantiles (p50/p99 over
-    a sliding window) split warm/cold, registry cache counters, and
-    micro-batcher counters.
+    Uptime, request/error totals, shed/deadline counters, admission gauges
+    (in-flight, queue depth, peaks), per-model circuit-breaker states,
+    per-model latency quantiles (p50/p99 over a sliding window) split
+    warm/cold, registry cache counters, and micro-batcher counters.
 ``GET /healthz``
-    ``200 {"status": "ok"}`` while serving, ``503 {"status": "draining"}``
-    once shutdown has been requested.
+    ``200 {"status": "ok"}`` while serving, ``503 {"status": "overloaded"}``
+    while every execution slot is busy, ``503 {"status": "draining"}`` once
+    shutdown has been requested.
 
 Failures map through the typed taxonomy of :mod:`repro.serve.errors` to
-4xx/5xx JSON bodies; a shard failure from the parallel layer
-(:class:`~repro.parallel.errors.ShardError`) surfaces as a 500 with its
-type name, never as a hung or half-written response.  ``SIGTERM``/``SIGINT``
+4xx/5xx JSON bodies — 400 bad request, 404 unknown model, 413 oversized
+body, 429 shed by admission control (+ ``Retry-After``), 500 load/shard
+failures, 503 open circuit breaker (+ ``Retry-After``), 504 expired
+deadline — never a hung or half-written response.  Requests execute behind
+an :class:`~repro.serve.admission.AdmissionController` (bounded in-flight
+concurrency + bounded wait queue; beyond that, shed) and per-model circuit
+breakers fed by the engine's typed outcomes.  ``SIGTERM``/``SIGINT``
 trigger a graceful drain: the accept loop stops, in-flight requests finish
 (handler threads are non-daemon and joined on close), and ``/healthz``
 flips to 503 so load balancers stop routing new traffic.
@@ -33,19 +41,47 @@ flips to 503 so load balancers stop routing new traffic.
 from __future__ import annotations
 
 import json
+import os
 import signal
 import threading
 import time
+from collections import deque
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 
+from repro.parallel.errors import DeadlineExceededError as CoreDeadlineExceededError
 from repro.parallel.errors import ShardError
+from repro.serve.admission import (
+    DEFAULT_MAX_INFLIGHT,
+    DEFAULT_MAX_QUEUE,
+    AdmissionController,
+)
+from repro.serve.breaker import DEFAULT_COOLDOWN_S, DEFAULT_FAILURE_THRESHOLD
 from repro.serve.engine import ServeEngine
-from repro.serve.errors import BadRequestError, ServeError
+from repro.serve.errors import (
+    BadRequestError,
+    DeadlineExceededError,
+    OverloadedError,
+    PayloadTooLargeError,
+    ServeError,
+)
 from repro.serve.registry import ModelRegistry
 
 #: Sliding-window size of the per-model latency reservoirs.
 _LATENCY_WINDOW = 4096
+
+#: Default server-wide request budget, seconds (0 disables).  Generous on
+#: purpose: it is the backstop for requests that set no ``deadline_ms``,
+#: bounding how long a handler thread can be held, not a latency target.
+DEFAULT_REQUEST_TIMEOUT_S = 30.0
+
+#: Default request-body cap, bytes.  A join request is two string columns;
+#: 8 MB of JSON is far above any sane micro-batch and far below what a
+#: hostile Content-Length could otherwise make the server buffer.
+DEFAULT_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Duplicated from :mod:`repro.testing.faults` (zero-cost guard when unset).
+_FAULT_ENV = "REPRO_FAULT_INJECT"
 
 
 class LatencyStats:
@@ -60,8 +96,9 @@ class LatencyStats:
 
     def __init__(self, window: int = _LATENCY_WINDOW) -> None:
         self._lock = threading.Lock()
-        self._window = window
-        self._recent: list[float] = []
+        # deque(maxlen=...) evicts from the front in O(1) per append; the
+        # old list-trim paid O(window) on every request past capacity.
+        self._recent: deque[float] = deque(maxlen=window)
         self._count = 0
         self._warm_count = 0
         self._total_s = 0.0
@@ -77,8 +114,6 @@ class LatencyStats:
             if self._first_s is None:
                 self._first_s = seconds
             self._recent.append(seconds)
-            if len(self._recent) > self._window:
-                del self._recent[: len(self._recent) - self._window]
 
     @staticmethod
     def _quantile(ordered: list[float], q: float) -> float:
@@ -114,13 +149,26 @@ class _JoinHTTPServer(ThreadingHTTPServer):
     # A bounded accept backlog for bursty closed-loop clients.
     request_queue_size = 64
 
-    def __init__(self, address: tuple[str, int], engine: ServeEngine) -> None:
+    def __init__(
+        self,
+        address: tuple[str, int],
+        engine: ServeEngine,
+        *,
+        admission: AdmissionController | None = None,
+        request_timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+    ) -> None:
         super().__init__(address, _JoinRequestHandler)
         self.engine = engine
+        self.admission = admission or AdmissionController()
+        self.request_timeout_s = request_timeout_s
+        self.max_body_bytes = max_body_bytes
         self.draining = False
         self.started_at = time.monotonic()
         self.request_count = 0
         self.error_count = 0
+        self.shed_count = 0
+        self.deadline_count = 0
         self.latency: dict[str, LatencyStats] = {}
         self.stats_lock = threading.Lock()
 
@@ -135,6 +183,14 @@ class _JoinHTTPServer(ThreadingHTTPServer):
         with self.stats_lock:
             self.request_count += 1
             self.error_count += 1 if error else 0
+
+    def count_resilience(self, error: BaseException) -> None:
+        """Fold a failed request into the shed/deadline counters."""
+        with self.stats_lock:
+            if isinstance(error, OverloadedError):
+                self.shed_count += 1
+            elif isinstance(error, DeadlineExceededError):
+                self.deadline_count += 1
 
 
 class _JoinRequestHandler(BaseHTTPRequestHandler):
@@ -157,6 +213,10 @@ class _JoinRequestHandler(BaseHTTPRequestHandler):
         if self.path == "/healthz":
             if self.server.draining:
                 self._respond(503, {"status": "draining"})
+            elif self.server.admission.saturated:
+                # Every execution slot busy: still alive, but a load
+                # balancer should prefer a less-loaded replica.
+                self._respond(503, {"status": "overloaded"})
             else:
                 self._respond(200, {"status": "ok"})
             return
@@ -184,21 +244,50 @@ class _JoinRequestHandler(BaseHTTPRequestHandler):
     # Handlers
     # ------------------------------------------------------------------ #
     def _handle_join(self, model_name: str) -> tuple[int, dict]:
-        source_values, target_values = self._read_join_body()
-        started = time.perf_counter()
-        response = self.server.engine.join(model_name, source_values, target_values)
-        elapsed = time.perf_counter() - started
+        source_values, target_values, deadline_ms = self._read_join_body()
+        # Per-request deadline_ms wins; otherwise the server-wide default
+        # applies (0 = unbounded).  Computed before admission so time spent
+        # queued consumes the same budget the apply stage will.
+        budget_s: float | None = None
+        if deadline_ms is not None:
+            budget_s = deadline_ms / 1000.0
+        elif self.server.request_timeout_s > 0:
+            budget_s = self.server.request_timeout_s
+        deadline = time.monotonic() + budget_s if budget_s is not None else None
+        if os.environ.get(_FAULT_ENV):
+            from repro.testing.faults import maybe_inject_serve  # noqa: PLC0415
+
+            maybe_inject_serve("server", deadline=deadline)
+        admission = self.server.admission
+        admission.acquire(deadline)
+        try:
+            started = time.perf_counter()
+            response = self.server.engine.join(
+                model_name, source_values, target_values, deadline=deadline
+            )
+            elapsed = time.perf_counter() - started
+        finally:
+            admission.release()
         self.server.latency_for(model_name).record(elapsed, warm=response.warm)
         return 200, response.to_payload()
 
-    def _read_join_body(self) -> tuple[list[str], list[str]]:
-        """Parse and validate the request body; raises :class:`BadRequestError`."""
+    def _read_join_body(self) -> tuple[list[str], list[str], float | None]:
+        """Parse and validate the request body.
+
+        Returns ``(source, target, deadline_ms)``; raises
+        :class:`BadRequestError` on malformed input and
+        :class:`PayloadTooLargeError` — from the declared length, before
+        reading a byte — when the body exceeds the configured cap.
+        """
         try:
             length = int(self.headers.get("Content-Length", "0"))
         except ValueError:
             raise BadRequestError("invalid Content-Length header") from None
         if length <= 0:
             raise BadRequestError("request body required")
+        limit = self.server.max_body_bytes
+        if limit > 0 and length > limit:
+            raise PayloadTooLargeError(length, limit)
         raw = self.rfile.read(length)
         try:
             payload = json.loads(raw)
@@ -216,13 +305,26 @@ class _JoinRequestHandler(BaseHTTPRequestHandler):
                     f"field {field!r} must be a list of strings"
                 )
             values[field] = column
-        return values["source"], values["target"]
+        deadline_ms = payload.get("deadline_ms")
+        if deadline_ms is not None:
+            if (
+                isinstance(deadline_ms, bool)
+                or not isinstance(deadline_ms, (int, float))
+                or deadline_ms <= 0
+            ):
+                raise BadRequestError(
+                    "field 'deadline_ms' must be a positive number of "
+                    "milliseconds"
+                )
+        return values["source"], values["target"], deadline_ms
 
     def _stats_payload(self) -> dict:
         server = self.server
         with server.stats_lock:
             requests = server.request_count
             errors = server.error_count
+            shed = server.shed_count
+            deadline_exceeded = server.deadline_count
             latencies = {
                 name: stats for name, stats in server.latency.items()
             }
@@ -231,6 +333,13 @@ class _JoinRequestHandler(BaseHTTPRequestHandler):
             "requests": requests,
             "errors": errors,
             "draining": server.draining,
+            "admission": server.admission.snapshot(),
+            "resilience": {
+                "shed": shed,
+                "deadline_exceeded": deadline_exceeded,
+                "request_timeout_s": server.request_timeout_s,
+                "max_body_bytes": server.max_body_bytes,
+            },
             "engine": server.engine.stats(),
             "models": {
                 name: stats.snapshot() for name, stats in latencies.items()
@@ -244,9 +353,14 @@ class _JoinRequestHandler(BaseHTTPRequestHandler):
         """Run a route handler, mapping the typed taxonomy to 4xx/5xx JSON."""
         try:
             status, payload = handler()
+        except CoreDeadlineExceededError as error:
+            # The cooperative deadline cut, raised above the engine's remap
+            # (the admission queue, the server fault site): same 504 as the
+            # serve-layer type.
+            self._respond_error(DeadlineExceededError(str(error)))
+            return
         except ServeError as error:
-            self.server.count_request(error=True)
-            self._respond(error.status, error.payload())
+            self._respond_error(error)
             return
         except ShardError as error:
             # The parallel layer's typed failures (crash, timeout with the
@@ -262,17 +376,33 @@ class _JoinRequestHandler(BaseHTTPRequestHandler):
             self.server.count_request(error=True)
             self._respond(
                 500,
-                {"error": {"type": "InternalError", "message": str(error)}},
+                {"error": {"type": type(error).__name__, "message": str(error)}},
             )
             return
         self.server.count_request(error=False)
         self._respond(status, payload)
 
-    def _respond(self, status: int, payload: dict) -> None:
+    def _respond_error(self, error: ServeError) -> None:
+        """Answer one typed serving failure, updating the counters."""
+        self.server.count_request(error=True)
+        self.server.count_resilience(error)
+        self._respond(
+            error.status,
+            error.payload(),
+            retry_after_s=getattr(error, "retry_after_s", None),
+        )
+
+    def _respond(
+        self, status: int, payload: dict, *, retry_after_s: float | None = None
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        if retry_after_s is not None:
+            # Integer seconds per RFC 9110, rounded up so "retry after
+            # 0.3s" does not become "retry immediately".
+            self.send_header("Retry-After", str(max(1, int(-(-retry_after_s // 1)))))
         if self.server.draining:
             self.send_header("Connection", "close")
             self.close_connection = True
@@ -307,7 +437,17 @@ class JoinServer:
         task_timeout_s: float = 0.0,
         shard_retries: int = 2,
         serial_fallback: bool = True,
+        request_timeout_s: float = DEFAULT_REQUEST_TIMEOUT_S,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        breaker_threshold: int = DEFAULT_FAILURE_THRESHOLD,
+        breaker_cooldown_s: float = DEFAULT_COOLDOWN_S,
     ) -> None:
+        if request_timeout_s < 0:
+            raise ValueError(
+                f"request_timeout_s must be >= 0, got {request_timeout_s}"
+            )
         self.registry = ModelRegistry(
             model_dir,
             joiner_cache_capacity=joiner_cache_capacity,
@@ -323,8 +463,19 @@ class JoinServer:
             micro_batch=micro_batch,
             max_batch_size=max_batch_size,
             max_batch_wait_s=max_batch_wait_s,
+            breaker_threshold=breaker_threshold,
+            breaker_cooldown_s=breaker_cooldown_s,
         )
-        self._http = _JoinHTTPServer((host, port), self.engine)
+        self.admission = AdmissionController(
+            max_inflight=max_inflight, max_queue=max_queue
+        )
+        self._http = _JoinHTTPServer(
+            (host, port),
+            self.engine,
+            admission=self.admission,
+            request_timeout_s=request_timeout_s,
+            max_body_bytes=max_body_bytes,
+        )
         self._serve_thread: threading.Thread | None = None
         self._shutdown_started = threading.Event()
 

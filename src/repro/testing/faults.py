@@ -19,8 +19,10 @@ The spec grammar is ``kind[:key=value]...`` with:
 ``kind``
     ``crash`` (hard worker death via ``os._exit`` — no exception, no result,
     the ``BrokenProcessPool`` class of failure), ``hang`` (sleep, default
-    3600 s, to exercise deadline handling), or ``raise`` (raise
-    :class:`FaultInjected`, the in-worker exception path).
+    3600 s, to exercise deadline handling), ``raise`` (raise
+    :class:`FaultInjected`, the in-worker exception path), or ``slow``
+    (sleep ``seconds`` then continue — a latency bubble rather than a
+    failure; pair it with an explicit ``seconds=``).
 ``shard=N``
     Only trigger on the shard with index *N* in the shard plan (default:
     every shard).
@@ -33,11 +35,20 @@ The spec grammar is ``kind[:key=value]...`` with:
     must be byte-identical to an uninjected run.  ``inline``/``any`` extend
     the blast radius to the in-process paths for tests of the terminal
     (typed-error) outcomes.
+``where=registry|engine|server``
+    The serve-tier sites (see :func:`maybe_inject_serve`): the registry's
+    model load, the engine's batch dispatch, and the HTTP handler's entry.
+    A serve site must be named explicitly — the executor's shard hook
+    ignores serve-scoped specs and vice versa, so one environment variable
+    cannot accidentally poison both tiers.  ``crash`` is rejected with a
+    serve site: it would kill the whole server process, which is a process
+    supervisor's test, not this layer's.
 ``seconds=S``
-    Sleep duration for ``hang``.
+    Sleep duration for ``hang`` and ``slow``.
 
-The hook is consulted by the executor's shard dispatch
-(:func:`repro.parallel.executor._run_shard`) with near-zero cost when the
+The spec is consulted by the executor's shard dispatch
+(:func:`repro.parallel.executor._run_shard`) and the serving layer's
+injection points (:func:`maybe_inject_serve`) with near-zero cost when the
 environment variable is unset.  It is a testing facility: production code
 must never set ``REPRO_FAULT_INJECT``.
 """
@@ -55,8 +66,21 @@ FAULT_ENV = "REPRO_FAULT_INJECT"
 #: watching worker exit codes can tell the injected death from a real one.
 CRASH_EXIT_CODE = 23
 
-_KINDS = ("crash", "hang", "raise")
-_WHERE = ("pool", "inline", "any")
+#: ``slow`` differs from ``hang`` only in intent: a bounded latency bubble
+#: (set ``seconds=``) versus sleeping out whatever deadline polices the
+#: site.  Both honour a cooperative deadline in :func:`maybe_inject_serve`.
+_KINDS = ("crash", "hang", "raise", "slow")
+
+#: The serve-tier injection sites of :func:`maybe_inject_serve`.
+SERVE_SITES = ("registry", "engine", "server")
+
+_WHERE = ("pool", "inline", "any") + SERVE_SITES
+
+#: Tick granularity of the deadline-aware sleeps in
+#: :func:`maybe_inject_serve`: an injected hang still answers a 504 within
+#: one tick of the request deadline instead of holding the handler thread
+#: for the full sleep.
+_SERVE_TICK_S = 0.05
 
 
 class FaultInjected(RuntimeError):
@@ -85,9 +109,19 @@ class FaultSpec:
             raise ValueError(f"fault shard must be >= 0, got {self.shard}")
         if self.seconds < 0:
             raise ValueError(f"fault seconds must be >= 0, got {self.seconds}")
+        if self.kind == "crash" and self.where in SERVE_SITES:
+            raise ValueError(
+                "fault kind 'crash' cannot target a serve site (it would "
+                "kill the whole server process); use slow/raise/hang"
+            )
 
     def matches(self, shard_index: int, *, in_pool_worker: bool) -> bool:
-        """Whether the fault fires for *shard_index* at this call site."""
+        """Whether the fault fires for *shard_index* at this call site.
+
+        Serve-scoped specs never match the executor's shard sites.
+        """
+        if self.where in SERVE_SITES:
+            return False
         if self.shard is not None and self.shard != shard_index:
             return False
         if self.where == "pool":
@@ -95,6 +129,15 @@ class FaultSpec:
         if self.where == "inline":
             return not in_pool_worker
         return True
+
+    def matches_site(self, site: str) -> bool:
+        """Whether the fault fires at serve site *site*.
+
+        Serve sites must be named explicitly (``where=registry`` etc.) —
+        ``any`` is an executor-tier wildcard and does not reach into the
+        serve tier.
+        """
+        return self.where == site
 
 
 def parse_fault_spec(text: str) -> FaultSpec:
@@ -161,7 +204,7 @@ def maybe_inject(shard_index: int, *, in_pool_worker: bool) -> None:
         return
     if spec.kind == "crash":
         os._exit(CRASH_EXIT_CODE)
-    if spec.kind == "hang":
+    if spec.kind in ("hang", "slow"):
         time.sleep(spec.seconds)
         return
     raise FaultInjected(
@@ -170,12 +213,51 @@ def maybe_inject(shard_index: int, *, in_pool_worker: bool) -> None:
     )
 
 
+def maybe_inject_serve(site: str, *, deadline: float | None = None) -> None:
+    """Fire the configured fault at serve site *site*, if one targets it.
+
+    The serve-tier counterpart of :func:`maybe_inject`, consulted at the
+    registry's model load (``registry``), the engine's batch dispatch
+    (``engine``) and the HTTP handler's entry (``server``).  ``raise``
+    throws :class:`FaultInjected` (a typed failure the breaker counts);
+    ``slow`` and ``hang`` sleep ``seconds`` — in :data:`_SERVE_TICK_S`
+    ticks, so when the caller passes its cooperative monotonic *deadline*
+    the sleep is cut there with
+    :class:`~repro.parallel.errors.DeadlineExceededError`, proving a hung
+    dependency still turns into a timely 504 rather than a held thread.
+    A no-op when no fault is configured or the spec names another site.
+    """
+    spec = active_fault()
+    if spec is None or not spec.matches_site(site):
+        return
+    if spec.kind == "raise":
+        raise FaultInjected(f"injected fault at serve site {site!r}")
+    from repro.parallel.errors import DeadlineExceededError  # noqa: PLC0415
+
+    end = time.monotonic() + spec.seconds
+    while True:
+        now = time.monotonic()
+        if deadline is not None and now >= deadline:
+            raise DeadlineExceededError(
+                f"deadline expired during injected {spec.kind!r} fault at "
+                f"serve site {site!r}"
+            )
+        if now >= end:
+            return
+        tick = min(_SERVE_TICK_S, end - now)
+        if deadline is not None:
+            tick = min(tick, deadline - now)
+        time.sleep(max(tick, 0.0))
+
+
 __all__ = [
     "CRASH_EXIT_CODE",
     "FAULT_ENV",
+    "SERVE_SITES",
     "FaultInjected",
     "FaultSpec",
     "active_fault",
     "maybe_inject",
+    "maybe_inject_serve",
     "parse_fault_spec",
 ]

@@ -415,6 +415,8 @@ def good_serve_payload() -> dict:
                 "concurrency": 1,
                 "requests": 50,
                 "errors": 0,
+                "shed": 0,
+                "deadline_exceeded": 0,
                 "duration_s": 1.0,
                 "rps": 50.0,
                 "verified_responses": 4,
@@ -460,6 +462,19 @@ class TestValidateServePayload:
         problems = validate_payload(payload)
         assert any("request errors" in problem for problem in problems)
         assert any("identical to offline" in problem for problem in problems)
+
+    def test_flags_shed_and_deadline_exceeded_requests(self):
+        # BENCH records are made at the resilience defaults: a level that
+        # shed requests or hit deadlines is not a clean benchmark.
+        payload = good_serve_payload()
+        payload["levels"][0]["shed"] = 2
+        del payload["levels"][0]["deadline_exceeded"]
+        problems = validate_payload(payload)
+        assert any("2 shed" in problem for problem in problems)
+        assert any(
+            "deadline_exceeded" in problem and "missing" in problem
+            for problem in problems
+        )
 
     def test_flags_missing_latency_and_inverted_quantiles(self):
         payload = good_serve_payload()

@@ -1,0 +1,479 @@
+"""Unit tests for the serving resilience layer.
+
+Covers the pieces individually — the circuit-breaker state machine
+(including the half-open single probe under real thread concurrency and
+the mtime fast-path), the admission controller's bounds and
+deadline-while-queued behaviour, the micro-batcher's per-follower
+deadlines, the engine's failure remapping, cooperative deadlines on the
+apply path, the serve-scoped fault grammar, request-body parsing
+(``deadline_ms``, the 413 cap), and the bounded latency window.  The
+end-to-end behaviours (injected hangs → 504, saturation → 429, breaker
+transitions over HTTP) live in ``tests/integration/test_serve_chaos.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.client import HTTPConnection
+
+import pytest
+
+from repro.datasets.synthetic import SyntheticConfig, generate_table_pair
+from repro.join.pipeline import JoinPipeline
+from repro.parallel.errors import DeadlineExceededError as CoreDeadlineExceededError
+from repro.parallel.errors import ShardError, ShardTimeoutError
+from repro.serve import JoinServer, LatencyStats
+from repro.serve.admission import AdmissionController
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.engine import MicroBatcher, ServeEngine
+from repro.serve.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    OverloadedError,
+)
+from repro.testing.faults import (
+    SERVE_SITES,
+    FaultInjected,
+    FaultSpec,
+    maybe_inject_serve,
+    parse_fault_spec,
+)
+
+
+@pytest.fixture(scope="module")
+def fitted_model():
+    pair, _ = generate_table_pair(SyntheticConfig(num_rows=120, seed=11))
+    model = JoinPipeline(min_support=0.05).fit(
+        pair.source, pair.target, source_column="value", target_column="value"
+    )
+    return pair, model
+
+
+# --------------------------------------------------------------------- #
+# Circuit breaker state machine
+# --------------------------------------------------------------------- #
+class TestCircuitBreaker:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker("m", failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker("m", cooldown_s=-1.0)
+
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker("m", failure_threshold=3, cooldown_s=60.0)
+        for _ in range(2):
+            breaker.acquire()
+            breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.acquire()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpenError) as excinfo:
+            breaker.acquire()
+        assert excinfo.value.status == 503
+        assert excinfo.value.retry_after_s > 0
+
+    def test_success_resets_the_failure_count(self):
+        breaker = CircuitBreaker("m", failure_threshold=2, cooldown_s=60.0)
+        breaker.acquire()
+        breaker.record_failure()
+        breaker.acquire()
+        breaker.record_success()
+        breaker.acquire()
+        breaker.record_failure()
+        # The earlier failure was cleared: one more is still below threshold.
+        assert breaker.state == "closed"
+
+    def _trip(self, breaker: CircuitBreaker) -> None:
+        while breaker.state == "closed":
+            breaker.acquire()
+            breaker.record_failure()
+
+    def test_half_open_probe_success_closes(self):
+        breaker = CircuitBreaker("m", failure_threshold=1, cooldown_s=0.05)
+        self._trip(breaker)
+        time.sleep(0.06)
+        breaker.acquire()  # admitted as the probe
+        assert breaker.state == "half_open"
+        breaker.record_success()
+        assert breaker.state == "closed"
+        breaker.acquire()  # healthy again
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker = CircuitBreaker("m", failure_threshold=1, cooldown_s=0.05)
+        self._trip(breaker)
+        time.sleep(0.06)
+        breaker.acquire()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        # The cool-down restarted: immediately rejected again.
+        with pytest.raises(CircuitOpenError):
+            breaker.acquire()
+
+    def test_half_open_abort_frees_the_probe_slot(self):
+        breaker = CircuitBreaker("m", failure_threshold=1, cooldown_s=0.05)
+        self._trip(breaker)
+        time.sleep(0.06)
+        breaker.acquire()
+        breaker.record_abort()
+        assert breaker.state == "open"
+        # A later request can still become the probe once the (restarted)
+        # cool-down elapses — the slot did not stay wedged.
+        time.sleep(0.06)
+        breaker.acquire()
+        assert breaker.state == "half_open"
+
+    def test_half_open_admits_exactly_one_probe_under_concurrency(self):
+        breaker = CircuitBreaker("m", failure_threshold=1, cooldown_s=0.05)
+        self._trip(breaker)
+        time.sleep(0.06)
+        workers = 8
+        barrier = threading.Barrier(workers)
+        admitted = []
+        rejected = []
+        lock = threading.Lock()
+
+        def attempt() -> None:
+            barrier.wait()
+            try:
+                breaker.acquire()
+            except CircuitOpenError:
+                with lock:
+                    rejected.append(1)
+            else:
+                with lock:
+                    admitted.append(1)
+
+        threads = [threading.Thread(target=attempt) for _ in range(workers)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=5)
+        assert len(admitted) == 1
+        assert len(rejected) == workers - 1
+
+    def test_changed_mtime_admits_a_probe_before_the_cooldown(self):
+        mtime = {"value": 100}
+        breaker = CircuitBreaker(
+            "m",
+            failure_threshold=1,
+            cooldown_s=3600.0,
+            mtime_fn=lambda: mtime["value"],
+        )
+        self._trip(breaker)
+        with pytest.raises(CircuitOpenError):
+            breaker.acquire()
+        mtime["value"] = 200  # the operator shipped a fixed artifact
+        breaker.acquire()  # probe admitted immediately, no cool-down wait
+        assert breaker.state == "half_open"
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_snapshot_counters(self):
+        breaker = CircuitBreaker("m", failure_threshold=1, cooldown_s=3600.0)
+        self._trip(breaker)
+        with pytest.raises(CircuitOpenError):
+            breaker.acquire()
+        snapshot = breaker.snapshot()
+        assert snapshot["state"] == "open"
+        assert snapshot["times_opened"] == 1
+        assert snapshot["rejected"] == 1
+        assert snapshot["failure_threshold"] == 1
+
+
+# --------------------------------------------------------------------- #
+# Admission control
+# --------------------------------------------------------------------- #
+class TestAdmissionController:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_inflight=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_queue=-1)
+
+    def test_admits_within_bounds_and_tracks_gauges(self):
+        admission = AdmissionController(max_inflight=2, max_queue=0)
+        admission.acquire()
+        admission.acquire()
+        assert admission.saturated
+        admission.release()
+        admission.release()
+        snapshot = admission.snapshot()
+        assert snapshot["admitted"] == 2
+        assert snapshot["in_flight"] == 0
+        assert snapshot["peak_in_flight"] == 2
+
+    def test_sheds_beyond_both_bounds(self):
+        admission = AdmissionController(max_inflight=1, max_queue=0)
+        admission.acquire()
+        with pytest.raises(OverloadedError) as excinfo:
+            admission.acquire()
+        assert excinfo.value.status == 429
+        assert excinfo.value.retry_after_s > 0
+        admission.release()
+        assert admission.snapshot()["shed"] == 1
+
+    def test_queued_request_runs_after_release(self):
+        admission = AdmissionController(max_inflight=1, max_queue=1)
+        admission.acquire()
+        acquired = threading.Event()
+
+        def waiter() -> None:
+            admission.acquire()
+            acquired.set()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.05)
+        assert not acquired.is_set()  # parked in the queue
+        admission.release()
+        assert acquired.wait(timeout=5)
+        admission.release()
+        thread.join(timeout=5)
+
+    def test_deadline_expires_while_queued(self):
+        admission = AdmissionController(max_inflight=1, max_queue=1)
+        admission.acquire()
+        errors: list[BaseException] = []
+
+        def waiter() -> None:
+            try:
+                admission.acquire(deadline=time.monotonic() + 0.1)
+            except BaseException as error:  # noqa: BLE001 - asserting type
+                errors.append(error)
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        thread.join(timeout=5)
+        assert len(errors) == 1
+        assert isinstance(errors[0], CoreDeadlineExceededError)
+        snapshot = admission.snapshot()
+        assert snapshot["deadline_shed"] == 1
+        assert snapshot["queued"] == 0  # the expired waiter left the queue
+        admission.release()
+
+
+# --------------------------------------------------------------------- #
+# Micro-batcher follower deadlines
+# --------------------------------------------------------------------- #
+def test_micro_batch_follower_times_out_individually():
+    """A follower whose budget lapses mid-execution raises; the leader is
+    unaffected and still gets its (late but complete) result."""
+
+    def execute(key, requests):
+        time.sleep(0.5)
+        return [("result", True) for _ in requests]
+
+    batcher = MicroBatcher(execute, max_batch_size=8, max_wait_s=0.2)
+    outcomes: dict[str, object] = {}
+
+    def leader() -> None:
+        outcomes["leader"] = batcher.submit("k", ["a"], ["b"])
+
+    def follower() -> None:
+        try:
+            batcher.submit(
+                "k", ["c"], ["b"], deadline=time.monotonic() + 0.15
+            )
+        except CoreDeadlineExceededError as error:
+            outcomes["follower"] = error
+
+    leader_thread = threading.Thread(target=leader)
+    leader_thread.start()
+    time.sleep(0.05)  # arrive inside the leader's batch window
+    follower_thread = threading.Thread(target=follower)
+    follower_thread.start()
+    follower_thread.join(timeout=5)
+    leader_thread.join(timeout=5)
+    assert isinstance(outcomes["follower"], CoreDeadlineExceededError)
+    result, warm, size = outcomes["leader"]
+    assert result == "result" and warm is True and size == 2
+
+
+# --------------------------------------------------------------------- #
+# Engine failure remapping
+# --------------------------------------------------------------------- #
+class TestMapFailure:
+    def test_core_deadline_maps_to_serve_504(self):
+        mapped = ServeEngine._map_failure(
+            CoreDeadlineExceededError("expired"), None
+        )
+        assert isinstance(mapped, DeadlineExceededError)
+        assert mapped.status == 504
+
+    def test_shard_error_with_deadline_cause_maps_to_serve_504(self):
+        cause = CoreDeadlineExceededError("worker hit the deadline")
+        error = ShardError("shard failed", shard=(0, 10), cause=cause)
+        mapped = ServeEngine._map_failure(error, None)
+        assert isinstance(mapped, DeadlineExceededError)
+
+    def test_shard_timeout_after_the_deadline_maps_to_serve_504(self):
+        error = ShardTimeoutError("map deadline expired")
+        mapped = ServeEngine._map_failure(error, time.monotonic() - 1.0)
+        assert isinstance(mapped, DeadlineExceededError)
+
+    def test_unrelated_failures_pass_through(self):
+        error = ShardError("worker raised", cause=ValueError("boom"))
+        assert ServeEngine._map_failure(error, None) is error
+        plain = ValueError("boom")
+        assert ServeEngine._map_failure(plain, None) is plain
+
+
+# --------------------------------------------------------------------- #
+# Cooperative deadlines on the apply path
+# --------------------------------------------------------------------- #
+def test_joiner_deadline_expired_raises_and_generous_deadline_matches(
+    fitted_model,
+):
+    pair, model = fitted_model
+    source = list(pair.source["value"])
+    target = list(pair.target["value"])
+    joiner = model.joiner()
+    baseline = joiner.join_values(source, target)
+    with pytest.raises(CoreDeadlineExceededError):
+        joiner.join_values(source, target, deadline=time.monotonic() - 1.0)
+    # An expired deadline is an error, never a truncated result; a generous
+    # one changes nothing about the output.
+    result = joiner.join_values(
+        source, target, deadline=time.monotonic() + 60.0
+    )
+    assert result.pairs == baseline.pairs
+
+
+# --------------------------------------------------------------------- #
+# Serve-scoped fault grammar
+# --------------------------------------------------------------------- #
+class TestServeFaultGrammar:
+    @pytest.mark.parametrize("site", SERVE_SITES)
+    def test_parses_serve_sites(self, site):
+        spec = parse_fault_spec(f"raise:where={site}")
+        assert spec.where == site
+        assert spec.matches_site(site)
+        # Serve-scoped specs never reach the executor's shard sites.
+        assert not spec.matches(0, in_pool_worker=True)
+        assert not spec.matches(0, in_pool_worker=False)
+
+    def test_parses_slow_kind_with_seconds(self):
+        spec = parse_fault_spec("slow:where=engine:seconds=0.25")
+        assert spec.kind == "slow"
+        assert spec.seconds == 0.25
+
+    def test_crash_rejected_at_serve_sites(self):
+        with pytest.raises(ValueError, match="crash"):
+            parse_fault_spec("crash:where=engine")
+
+    def test_executor_wildcard_does_not_reach_serve_sites(self):
+        spec = FaultSpec(kind="raise", where="any")
+        for site in SERVE_SITES:
+            assert not spec.matches_site(site)
+
+    def test_inject_raise_at_matching_site_only(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "raise:where=engine")
+        maybe_inject_serve("registry")  # other site: no-op
+        with pytest.raises(FaultInjected):
+            maybe_inject_serve("engine")
+
+    def test_injected_hang_is_cut_at_the_deadline(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_INJECT", "hang:where=engine")
+        started = time.monotonic()
+        with pytest.raises(CoreDeadlineExceededError):
+            maybe_inject_serve("engine", deadline=time.monotonic() + 0.15)
+        assert time.monotonic() - started < 1.0
+
+    def test_injected_slow_completes_within_its_budget(self, monkeypatch):
+        monkeypatch.setenv(
+            "REPRO_FAULT_INJECT", "slow:where=server:seconds=0.1"
+        )
+        started = time.monotonic()
+        maybe_inject_serve("server", deadline=time.monotonic() + 5.0)
+        elapsed = time.monotonic() - started
+        assert 0.1 <= elapsed < 1.0
+
+
+# --------------------------------------------------------------------- #
+# Request parsing: deadline_ms and the body cap
+# --------------------------------------------------------------------- #
+def _post(server: JoinServer, name: str, body: bytes) -> tuple[int, dict, dict]:
+    host, port = server.address
+    connection = HTTPConnection(host, port, timeout=30)
+    try:
+        connection.request(
+            "POST", f"/join/{name}", body, {"Content-Type": "application/json"}
+        )
+        response = connection.getresponse()
+        headers = dict(response.getheaders())
+        return response.status, json.loads(response.read()), headers
+    finally:
+        connection.close()
+
+
+@pytest.fixture()
+def small_server(fitted_model, tmp_path):
+    _, model = fitted_model
+    model.save(tmp_path / "synth.json")
+    with JoinServer(tmp_path, port=0, max_body_bytes=2048) as server:
+        server.start_background()
+        yield server
+
+
+class TestRequestParsing:
+    @pytest.mark.parametrize("bad", [0, -5, "soon", True, [100]])
+    def test_invalid_deadline_ms_is_a_400(self, small_server, bad):
+        body = json.dumps(
+            {"source": ["a"], "target": ["a"], "deadline_ms": bad}
+        ).encode()
+        status, payload, _ = _post(small_server, "synth", body)
+        assert status == 400
+        assert payload["error"]["type"] == "BadRequestError"
+        assert "deadline_ms" in payload["error"]["message"]
+
+    def test_valid_deadline_ms_serves_normally(self, small_server):
+        body = json.dumps(
+            {"source": ["a"], "target": ["a"], "deadline_ms": 10_000}
+        ).encode()
+        status, payload, _ = _post(small_server, "synth", body)
+        assert status == 200
+        assert "pairs" in payload
+
+    def test_oversized_body_is_a_typed_413(self, small_server):
+        body = json.dumps(
+            {"source": ["x" * 4096], "target": ["a"]}
+        ).encode()
+        assert len(body) > 2048
+        status, payload, _ = _post(small_server, "synth", body)
+        assert status == 413
+        assert payload["error"]["type"] == "PayloadTooLargeError"
+
+    def test_stats_exposes_admission_and_resilience_sections(
+        self, small_server
+    ):
+        host, port = small_server.address
+        connection = HTTPConnection(host, port, timeout=30)
+        try:
+            connection.request("GET", "/stats")
+            payload = json.loads(connection.getresponse().read())
+        finally:
+            connection.close()
+        assert payload["admission"]["max_inflight"] >= 1
+        assert payload["resilience"]["shed"] == 0
+        assert payload["resilience"]["deadline_exceeded"] == 0
+        assert "breakers" in payload["engine"]
+
+
+# --------------------------------------------------------------------- #
+# Latency window stays bounded
+# --------------------------------------------------------------------- #
+def test_latency_stats_window_is_bounded_but_totals_are_exact():
+    stats = LatencyStats(window=16)
+    for index in range(100):
+        stats.record(index / 1000.0, warm=index > 0)
+    snapshot = stats.snapshot()
+    assert snapshot["count"] == 100
+    assert snapshot["warm_count"] == 99
+    assert snapshot["first_request_ms"] == 0.0
+    assert snapshot["max_ms"] == pytest.approx(99.0)
+    # Quantiles come from the bounded recent window (the last 16 samples).
+    assert snapshot["p50_ms"] >= 84.0
+    assert len(stats._recent) == 16
