@@ -8,11 +8,22 @@
 * :mod:`repro.baselines.fuzzyjoin` — an Auto-FuzzyJoin-style similarity join
   (Li et al., SIGMOD 2021): no transformations, joins rows whose textual
   similarity clears an automatically chosen threshold.
+* :mod:`repro.baselines.setsimjoin` — exact prefix-filtered set-similarity
+  joins (py_stringsimjoin-style): jaccard/cosine/overlap joins of rows whose
+  token-set similarity clears a fixed threshold, backed by the setsim
+  matching engine.
 """
 
 from repro.baselines.autojoin import AutoJoin, AutoJoinConfig, AutoJoinResult
 from repro.baselines.fuzzyjoin import AutoFuzzyJoin, FuzzyJoinConfig
 from repro.baselines.naive import NaiveDiscovery, NaiveConfig
+from repro.baselines.setsimjoin import (
+    SetSimJoinResult,
+    cosine_join,
+    jaccard_join,
+    overlap_join,
+    set_similarity_join_values,
+)
 
 __all__ = [
     "AutoFuzzyJoin",
@@ -22,4 +33,9 @@ __all__ = [
     "FuzzyJoinConfig",
     "NaiveConfig",
     "NaiveDiscovery",
+    "SetSimJoinResult",
+    "cosine_join",
+    "jaccard_join",
+    "overlap_join",
+    "set_similarity_join_values",
 ]

@@ -41,7 +41,14 @@ from repro.core.discovery import TransformationDiscovery
 from repro.datasets.registry import available_datasets, load_dataset
 from repro.evaluation.report import format_table
 from repro.join.pipeline import JoinPipeline
-from repro.matching.row_matcher import MatchingConfig, NGramRowMatcher
+from repro.matching.row_matcher import (
+    MATCHER_ENGINES,
+    SETSIM_SIMILARITIES,
+    MatchingConfig,
+    RowMatcher,
+    create_row_matcher,
+)
+from repro.matching.tokenize import TOKENIZERS
 from repro.model import ModelFormatError, TransformationModel
 from repro.parallel import ShardError
 from repro.table.io import TableReadError, read_csv, write_csv
@@ -290,10 +297,50 @@ def _add_pair_arguments(parser: argparse.ArgumentParser) -> None:
         help="sample size for candidate generation (0 = use all candidate pairs)",
     )
     parser.add_argument(
+        "--matcher",
+        choices=MATCHER_ENGINES,
+        default=None,
+        help=(
+            "matching engine: ngram (Algorithm 1's representative n-grams) "
+            "or setsim (prefix-filtered set-similarity); default: "
+            "REPRO_MATCHER or ngram"
+        ),
+    )
+    parser.add_argument(
         "--min-ngram", type=int, default=4, help="smallest n-gram used by the matcher"
     )
     parser.add_argument(
         "--max-ngram", type=int, default=20, help="largest n-gram used by the matcher"
+    )
+    parser.add_argument(
+        "--setsim-similarity",
+        choices=SETSIM_SIMILARITIES,
+        default="jaccard",
+        help="similarity measure of the setsim engine (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--setsim-threshold",
+        type=float,
+        default=0.7,
+        help=(
+            "setsim similarity threshold: in (0, 1] for jaccard/cosine, an "
+            "absolute token count >= 1 for overlap (default: %(default)s)"
+        ),
+    )
+    parser.add_argument(
+        "--setsim-tokenizer",
+        choices=TOKENIZERS,
+        default="whitespace",
+        help=(
+            "setsim tokenization: whitespace for token-rich strings, qgram "
+            "for short keys (default: %(default)s)"
+        ),
+    )
+    parser.add_argument(
+        "--setsim-qgram",
+        type=int,
+        default=4,
+        help="q-gram size of the setsim qgram tokenizer (default: %(default)s)",
     )
     parser.add_argument(
         "--num-workers",
@@ -359,17 +406,24 @@ def _discovery_config(args: argparse.Namespace) -> DiscoveryConfig:
     return config
 
 
-def _matcher(args: argparse.Namespace) -> NGramRowMatcher:
+def _matcher(args: argparse.Namespace) -> RowMatcher:
     kwargs = dict(
         min_ngram=args.min_ngram,
         max_ngram=args.max_ngram,
+        setsim_similarity=args.setsim_similarity,
+        setsim_threshold=args.setsim_threshold,
+        setsim_tokenizer=args.setsim_tokenizer,
+        setsim_qgram=args.setsim_qgram,
         task_timeout_s=args.task_timeout,
         shard_retries=args.shard_retries,
         serial_fallback=not args.no_serial_fallback,
     )
+    if args.matcher is not None:
+        # Explicit flag wins; otherwise MatchingConfig reads REPRO_MATCHER.
+        kwargs["engine"] = args.matcher
     if args.num_workers is not None:
         kwargs["num_workers"] = args.num_workers
-    return NGramRowMatcher(MatchingConfig(**kwargs))
+    return create_row_matcher(MatchingConfig(**kwargs))
 
 
 def _warn_if_budget_exhausted(stats) -> None:

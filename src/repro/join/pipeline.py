@@ -2,8 +2,9 @@
 
 ``JoinPipeline`` chains the three stages of the paper's system:
 
-1. **Row matching** — an :class:`~repro.matching.row_matcher.NGramRowMatcher`
-   (or a golden matcher) proposes candidate joinable row pairs,
+1. **Row matching** — a row matcher (the engine picked by
+   :func:`~repro.matching.row_matcher.create_row_matcher`, or a golden
+   matcher) proposes candidate joinable row pairs,
 2. **Transformation discovery** — the
    :class:`~repro.core.discovery.TransformationDiscovery` engine learns a
    covering set of transformations from those pairs,
@@ -31,7 +32,7 @@ from dataclasses import dataclass, field
 from repro.core.config import DiscoveryConfig
 from repro.core.discovery import DiscoveryResult, TransformationDiscovery
 from repro.join.joiner import JoinResult, TransformationJoiner
-from repro.matching.row_matcher import NGramRowMatcher, RowMatcher
+from repro.matching.row_matcher import RowMatcher, create_row_matcher
 from repro.model.artifact import TransformationModel
 from repro.table.table import Table
 
@@ -111,8 +112,9 @@ class JoinPipeline:
         Parameters
         ----------
         matcher:
-            The row matcher; defaults to the n-gram matcher with the paper's
-            settings.
+            The row matcher; defaults to the engine selected by
+            ``REPRO_MATCHER`` (the n-gram matcher with the paper's settings
+            unless overridden).
         discovery_config:
             Configuration of the discovery engine.
         min_support:
@@ -136,7 +138,7 @@ class JoinPipeline:
             :class:`~repro.parallel.executor.ShardedExecutor`.  Matching and
             discovery carry the equivalent knobs on their own configs.
         """
-        self._matcher = matcher or NGramRowMatcher()
+        self._matcher = matcher or create_row_matcher()
         self._discovery = TransformationDiscovery(discovery_config)
         self._min_support = min_support
         self._materialize = materialize

@@ -1,0 +1,206 @@
+"""Posting-filter kernels of the set-similarity matching engine.
+
+The hot inner loop of :class:`repro.matching.setsim.SetSimRowMatcher` is the
+prefix-index probe: for every prefix token of a source row, scan the token's
+posting entries (candidate target rows with their prefix positions and token
+counts) and keep the entries that survive the size filter and the positional
+overlap bound.  Each op here is that loop in vectorized form, paired with a
+pure-Python dual computing exactly the same values — same admitted rows, same
+order — so the resolved kernel tier (:mod:`repro.kernels`) changes wall time
+only, never the candidate set or any downstream statistic.
+
+The filter bounds are deliberately *conservative*: comparisons carry a small
+slack (:data:`FILTER_EPS`) so float rounding at exact-threshold ties can only
+admit an extra candidate (later rejected by exact verification), never prune
+a true match.  Both duals compute the bound expressions in the same order
+with the same IEEE-754 double operations, so they agree bit for bit.
+"""
+
+from __future__ import annotations
+
+import math
+from array import array
+from collections.abc import Sequence
+
+from repro.kernels import numpy_or_none
+
+#: Below this many posting entries the numpy path's array-conversion
+#: overhead outweighs the vectorized filter; the python dual runs instead.
+_NP_MIN_POSTINGS = 16
+
+#: Below this many tokens on either side the merge loop beats
+#: ``np.intersect1d``'s setup cost.
+_NP_MIN_TOKENS = 64
+
+#: Conservative slack on filter-bound comparisons.  Filters err on the side
+#: of admitting a candidate, never pruning one — a borderline admission only
+#: costs one exact verification, a borderline prune would lose a match.
+FILTER_EPS = 1e-9
+
+
+def required_overlap(
+    probe_size: int, candidate_size: int, similarity: str, threshold: float
+) -> float:
+    """The minimum token overlap two rows of these sizes need to clear
+    *threshold* — the bound every prefix/position filter compares against.
+
+    jaccard: ``t/(1+t) * (|x|+|y|)``; cosine: ``t * sqrt(|x|*|y|)``;
+    overlap: the threshold itself (an absolute count).
+    """
+    if similarity == "jaccard":
+        return threshold / (1.0 + threshold) * (probe_size + candidate_size)
+    if similarity == "cosine":
+        return threshold * math.sqrt(probe_size * candidate_size)
+    return float(threshold)
+
+
+def filter_token_postings_py(
+    rows: Sequence[int],
+    positions: Sequence[int],
+    sizes: Sequence[int],
+    *,
+    probe_size: int,
+    probe_position: int,
+    similarity: str,
+    threshold: float,
+    size_low: int,
+    size_high: int,
+) -> list[int]:
+    """Admit the posting entries that can still reach the overlap bound.
+
+    *rows*/*positions*/*sizes* are one token's parallel posting arrays
+    (target row id ascending, the token's position in that row's ordered
+    token list, and the row's token count).  An entry survives when the
+    candidate's size lies in ``[size_low, size_high]`` and the positional
+    upper bound on the overlap — one shared token plus whatever remains
+    after both positions — still reaches the measure's required overlap.
+    """
+    admitted: list[int] = []
+    remaining_probe = probe_size - probe_position - 1
+    for entry in range(len(rows)):
+        candidate_size = sizes[entry]
+        if candidate_size < size_low or candidate_size > size_high:
+            continue
+        alpha = required_overlap(probe_size, candidate_size, similarity, threshold)
+        bound = 1 + min(remaining_probe, candidate_size - positions[entry] - 1)
+        if bound + FILTER_EPS >= alpha:
+            admitted.append(rows[entry])
+    return admitted
+
+
+def _as_intc(np, values: Sequence[int]):  # type: ignore[no-untyped-def]
+    """Zero-copy view of an ``array('i')`` (the engine's posting storage),
+    plain conversion for any other sequence (the test surface)."""
+    if isinstance(values, array):
+        return np.frombuffer(values, dtype=np.intc)
+    return np.asarray(values, dtype=np.intc)
+
+
+def filter_token_postings_np(
+    rows: Sequence[int],
+    positions: Sequence[int],
+    sizes: Sequence[int],
+    *,
+    probe_size: int,
+    probe_position: int,
+    similarity: str,
+    threshold: float,
+    size_low: int,
+    size_high: int,
+) -> list[int]:
+    """numpy :func:`filter_token_postings_py`."""
+    np = numpy_or_none()
+    assert np is not None
+    rows_arr = _as_intc(np, rows)
+    positions_arr = _as_intc(np, positions)
+    sizes_arr = _as_intc(np, sizes)
+    mask = (sizes_arr >= size_low) & (sizes_arr <= size_high)
+    # Same expressions, same operation order as the python dual — float64
+    # scalar ops round identically, so the admitted sets agree bit for bit.
+    if similarity == "jaccard":
+        alpha = threshold / (1.0 + threshold) * (probe_size + sizes_arr)
+    elif similarity == "cosine":
+        alpha = threshold * np.sqrt(np.float64(probe_size) * sizes_arr)
+    else:
+        alpha = np.full(len(sizes_arr), float(threshold))
+    bound = 1 + np.minimum(
+        probe_size - probe_position - 1, sizes_arr - positions_arr - 1
+    )
+    mask &= bound + FILTER_EPS >= alpha
+    return rows_arr[mask].tolist()
+
+
+def intersect_count_py(left: Sequence[int], right: Sequence[int]) -> int:
+    """Size of the intersection of two sorted duplicate-free int sequences."""
+    i = j = count = 0
+    left_len, right_len = len(left), len(right)
+    while i < left_len and j < right_len:
+        a, b = left[i], right[j]
+        if a == b:
+            count += 1
+            i += 1
+            j += 1
+        elif a < b:
+            i += 1
+        else:
+            j += 1
+    return count
+
+
+def intersect_count_np(left: Sequence[int], right: Sequence[int]) -> int:
+    """numpy :func:`intersect_count_py`."""
+    np = numpy_or_none()
+    assert np is not None
+    return int(
+        np.intersect1d(
+            _as_intc(np, left), _as_intc(np, right), assume_unique=True
+        ).size
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Tier dispatchers
+# ---------------------------------------------------------------------- #
+def filter_token_postings(
+    rows: Sequence[int],
+    positions: Sequence[int],
+    sizes: Sequence[int],
+    *,
+    probe_size: int,
+    probe_position: int,
+    similarity: str,
+    threshold: float,
+    size_low: int,
+    size_high: int,
+) -> list[int]:
+    """Tier-dispatched :func:`filter_token_postings_py`."""
+    if numpy_or_none() is not None and len(rows) >= _NP_MIN_POSTINGS:
+        return filter_token_postings_np(
+            rows,
+            positions,
+            sizes,
+            probe_size=probe_size,
+            probe_position=probe_position,
+            similarity=similarity,
+            threshold=threshold,
+            size_low=size_low,
+            size_high=size_high,
+        )
+    return filter_token_postings_py(
+        rows,
+        positions,
+        sizes,
+        probe_size=probe_size,
+        probe_position=probe_position,
+        similarity=similarity,
+        threshold=threshold,
+        size_low=size_low,
+        size_high=size_high,
+    )
+
+
+def intersect_count(left: Sequence[int], right: Sequence[int]) -> int:
+    """Tier-dispatched :func:`intersect_count_py`."""
+    if numpy_or_none() is not None and min(len(left), len(right)) >= _NP_MIN_TOKENS:
+        return intersect_count_np(left, right)
+    return intersect_count_py(left, right)

@@ -1,8 +1,9 @@
 """Row matching: finding candidate joinable row pairs (Section 4.2.1).
 
 Before transformations can be learned, the system needs candidate
-(source, target) row pairs.  This package implements the paper's n-gram
-matcher:
+(source, target) row pairs.  This package implements two matching engines
+(select one with ``MatchingConfig.engine``, the ``--matcher`` CLI flag, or
+the ``REPRO_MATCHER`` environment variable):
 
 * :mod:`repro.matching.ngrams` — character n-gram extraction,
 * :mod:`repro.matching.index` — the packed inverted index (sorted-array
@@ -11,7 +12,14 @@ matcher:
 * :mod:`repro.matching.scoring` — Inverse Row Frequency (IRF) and the
   representative score (Rscore),
 * :mod:`repro.matching.row_matcher` — Algorithm 1 (representative-n-gram
-  matching) plus a golden matcher that replays a known ground truth,
+  matching), the engine-selecting :func:`~repro.matching.row_matcher.
+  create_row_matcher` factory, plus a golden matcher that replays a known
+  ground truth,
+* :mod:`repro.matching.setsim` — the prefix-filtered set-similarity engine
+  (global token-frequency ordering, prefix/position filters, exact
+  verification; PPJoin-style),
+* :mod:`repro.matching.tokenize` — the whitespace/q-gram tokenizers of the
+  setsim engine,
 * :mod:`repro.matching.reference` — the seed's nested-loop matcher, kept as
   the executable specification for equivalence tests and perf baselines.
 """
@@ -24,26 +32,45 @@ from repro.matching.ngrams import (
 )
 from repro.matching.reference import ReferenceRowMatcher
 from repro.matching.row_matcher import (
+    MATCHER_ENGINES,
+    SETSIM_SIMILARITIES,
     GoldenRowMatcher,
     MatchingConfig,
     NGramRowMatcher,
     RowMatcher,
     choose_source_column,
+    create_row_matcher,
 )
 from repro.matching.scoring import inverse_row_frequency, representative_score
+from repro.matching.setsim import SetSimRowMatcher, SetSimStats
+from repro.matching.tokenize import (
+    TOKENIZERS,
+    qgram_tokens,
+    tokenizer_for,
+    whitespace_tokens,
+)
 
 __all__ = [
     "GoldenRowMatcher",
     "InvertedIndex",
+    "MATCHER_ENGINES",
     "MatchingConfig",
     "NGramRowMatcher",
     "ReferenceRowMatcher",
     "RowMatcher",
+    "SETSIM_SIMILARITIES",
+    "SetSimRowMatcher",
+    "SetSimStats",
+    "TOKENIZERS",
     "ValueIndex",
     "character_ngrams",
     "choose_source_column",
+    "create_row_matcher",
     "inverse_row_frequency",
     "ngrams_in_range",
+    "qgram_tokens",
     "representative_score",
+    "tokenizer_for",
     "unique_ngrams_by_size",
+    "whitespace_tokens",
 ]

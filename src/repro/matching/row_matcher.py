@@ -24,19 +24,35 @@ experiments use as the "golden" panel of Tables 2 and 4.
 
 from __future__ import annotations
 
+import os
 from abc import ABC, abstractmethod
 from collections.abc import Sequence
 from dataclasses import dataclass, field
 
 from repro.core.pairs import RowPair
 from repro.matching.index import InvertedIndex
+from repro.matching.tokenize import TOKENIZERS
 from repro.parallel.executor import env_default_workers, tuned_num_workers
 from repro.table.table import Table
+
+#: Matching engines :func:`create_row_matcher` can build: "ngram" is
+#: Algorithm 1's representative-n-gram matcher, "setsim" the prefix-filtered
+#: set-similarity matcher of :mod:`repro.matching.setsim`.
+MATCHER_ENGINES: tuple[str, ...] = ("ngram", "setsim")
+
+#: Similarity measures the setsim engine supports.  jaccard and cosine take
+#: a threshold in (0, 1]; overlap takes an absolute token-count >= 1.
+SETSIM_SIMILARITIES: tuple[str, ...] = ("jaccard", "cosine", "overlap")
+
+
+def env_default_engine() -> str:
+    """The default matching engine: ``REPRO_MATCHER`` or ``"ngram"``."""
+    return os.environ.get("REPRO_MATCHER", "").strip().lower() or "ngram"
 
 
 @dataclass(frozen=True)
 class MatchingConfig:
-    """Parameters of the n-gram row matcher.
+    """Parameters of the row matchers (both engines).
 
     The defaults follow Section 6.2 of the paper: representative n-grams of
     sizes 4 through 20, lower-cased comparison.
@@ -64,6 +80,17 @@ class MatchingConfig:
     a flaky pool's results byte-identical); see
     :class:`~repro.parallel.executor.ShardedExecutor`.  ``task_timeout_s``
     0 means unbounded.
+
+    ``engine`` selects the candidate-generation regime
+    (:func:`create_row_matcher` resolves it): ``"ngram"`` is Algorithm 1's
+    representative n-grams, ``"setsim"`` the prefix-filtered set-similarity
+    matcher of :mod:`repro.matching.setsim`.  The default honours
+    ``REPRO_MATCHER``.  The ``setsim_*`` fields parameterize the setsim
+    engine only: the similarity measure and its threshold (jaccard/cosine in
+    (0, 1], overlap an absolute token count >= 1), and the tokenization
+    ("whitespace" for token-rich strings, "qgram" for short keys, with
+    ``setsim_qgram`` the q).  Both engines share ``lowercase`` and all the
+    sharding/fault-tolerance knobs.
     """
 
     min_ngram: int = 4
@@ -71,6 +98,11 @@ class MatchingConfig:
     lowercase: bool = True
     max_candidates_per_row: int = 0  # 0 = unlimited (many-to-many joins)
     stop_gram_cap: int = 0  # 0 = no stop-gram pruning (exact Algorithm 1)
+    engine: str = field(default_factory=env_default_engine)
+    setsim_similarity: str = "jaccard"
+    setsim_threshold: float = 0.7
+    setsim_tokenizer: str = "whitespace"
+    setsim_qgram: int = 4
     num_workers: int = field(default_factory=env_default_workers)
     min_rows_per_worker: int | None = None
     task_timeout_s: float = 0.0
@@ -92,6 +124,37 @@ class MatchingConfig:
         if self.stop_gram_cap < 0:
             raise ValueError(
                 f"stop_gram_cap must be >= 0, got {self.stop_gram_cap}"
+            )
+        if self.engine not in MATCHER_ENGINES:
+            raise ValueError(
+                f"engine must be one of {list(MATCHER_ENGINES)}, got "
+                f"{self.engine!r}"
+            )
+        if self.setsim_similarity not in SETSIM_SIMILARITIES:
+            raise ValueError(
+                "setsim_similarity must be one of "
+                f"{list(SETSIM_SIMILARITIES)}, got {self.setsim_similarity!r}"
+            )
+        if self.setsim_similarity == "overlap":
+            if self.setsim_threshold < 1:
+                raise ValueError(
+                    "setsim_threshold is an absolute token count for the "
+                    f"overlap measure and must be >= 1, got "
+                    f"{self.setsim_threshold}"
+                )
+        elif not 0.0 < self.setsim_threshold <= 1.0:
+            raise ValueError(
+                f"setsim_threshold must be in (0, 1] for "
+                f"{self.setsim_similarity}, got {self.setsim_threshold}"
+            )
+        if self.setsim_tokenizer not in TOKENIZERS:
+            raise ValueError(
+                f"setsim_tokenizer must be one of {list(TOKENIZERS)}, got "
+                f"{self.setsim_tokenizer!r}"
+            )
+        if self.setsim_qgram <= 0:
+            raise ValueError(
+                f"setsim_qgram must be positive, got {self.setsim_qgram}"
             )
         if self.num_workers < 0:
             raise ValueError(
@@ -287,6 +350,27 @@ class NGramRowMatcher(RowMatcher):
             representatives,
             config.max_candidates_per_row,
         )
+
+
+def create_row_matcher(config: MatchingConfig | None = None) -> RowMatcher:
+    """The engine-selected row matcher of *config*.
+
+    ``config.engine`` picks the candidate-generation regime: ``"ngram"``
+    builds the packed :class:`NGramRowMatcher` (Algorithm 1), ``"setsim"``
+    the prefix-filtered
+    :class:`~repro.matching.setsim.SetSimRowMatcher`.  With no config the
+    default engine is read from ``REPRO_MATCHER`` (falling back to
+    ``"ngram"``), which is how the CLI and :class:`~repro.join.pipeline.
+    JoinPipeline` make the engine selectable without code changes.
+    """
+    config = config or MatchingConfig()
+    if config.engine == "setsim":
+        # Imported lazily: the ngram path must not pay for (or depend on)
+        # the setsim engine's modules.
+        from repro.matching.setsim import SetSimRowMatcher
+
+        return SetSimRowMatcher(config)
+    return NGramRowMatcher(config)
 
 
 class GoldenRowMatcher(RowMatcher):

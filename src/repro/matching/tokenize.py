@@ -1,0 +1,64 @@
+"""Token extraction for the set-similarity matching engine.
+
+Set-similarity joins compare rows as *token sets*; this module holds the two
+tokenizations the engine and the baseline join family support:
+
+* :func:`whitespace_tokens` — delimiter tokenization (py_stringsimjoin's
+  ``DelimiterTokenizer`` with ``return_set=True``): the natural choice for
+  token-rich strings (names, addresses, descriptions);
+* :func:`qgram_tokens` — character q-grams, the choice for short keys and
+  strings without separators.
+
+Both deduplicate via order-preserving ``dict.fromkeys`` — never a ``set``,
+whose iteration order depends on the per-interpreter string hash seed.  The
+returned token lists are therefore identical across ``PYTHONHASHSEED``
+values and across fork/spawn worker processes, which is what makes the
+engine's global token ordering (and every downstream candidate list)
+hash-seed independent.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+#: Tokenizer names accepted by :func:`tokenizer_for` (and by
+#: ``MatchingConfig.setsim_tokenizer`` / the CLI ``--setsim-tokenizer``).
+TOKENIZERS: tuple[str, ...] = ("whitespace", "qgram")
+
+
+def whitespace_tokens(text: str, *, lowercase: bool = True) -> list[str]:
+    """The distinct whitespace-separated tokens of *text*, first-seen order."""
+    if lowercase:
+        text = text.lower()
+    return list(dict.fromkeys(text.split()))
+
+
+def qgram_tokens(text: str, size: int = 4, *, lowercase: bool = True) -> list[str]:
+    """The distinct character q-grams of *text*, first-seen order.
+
+    Strings shorter than *size* contribute themselves as their only token
+    (so short keys still participate instead of silently matching nothing);
+    empty strings have no tokens.
+    """
+    if size <= 0:
+        raise ValueError(f"size must be positive, got {size}")
+    if lowercase:
+        text = text.lower()
+    if not text:
+        return []
+    if len(text) <= size:
+        return [text]
+    return list(dict.fromkeys(text[i : i + size] for i in range(len(text) - size + 1)))
+
+
+def tokenizer_for(
+    name: str, *, qgram_size: int = 4, lowercase: bool = True
+) -> Callable[[str], list[str]]:
+    """The tokenization function of *name* ("whitespace" or "qgram")."""
+    if name == "whitespace":
+        return lambda text: whitespace_tokens(text, lowercase=lowercase)
+    if name == "qgram":
+        return lambda text: qgram_tokens(text, qgram_size, lowercase=lowercase)
+    raise ValueError(
+        f"unknown tokenizer {name!r}; expected one of {list(TOKENIZERS)}"
+    )

@@ -1,0 +1,123 @@
+"""Process-sharded set-similarity matching.
+
+The setsim matcher shards more cleanly than the packed n-gram matcher: the
+global token ordering and the prefix-index build are the only whole-column
+computations, and both happen once in the parent.  After that, matching is
+per-source-row — probe the index, verify, emit — so workers take contiguous
+``(start, stop)`` row ranges over the shared read-only state (the
+:class:`~repro.matching.setsim.SetSimIndex`, the sources' ordered token-id
+lists, and the value lists) and run the exact serial loop
+(:func:`~repro.matching.setsim.match_token_rows`) on their slice.
+
+Emission is per-row with candidates visited in ascending target-row order,
+so concatenating shard outputs in shard order reproduces the serial pair
+list exactly — same pairs, same order — and summing the shard candidate
+counts reproduces the serial pruning statistic.  The property suite asserts
+byte-identity at several worker counts under both fork and spawn.
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections.abc import Sequence
+
+from repro.core.pairs import RowPair
+from repro.matching.setsim import SetSimIndex, match_token_rows
+from repro.parallel.executor import (
+    DEFAULT_MAX_SHARD_RETRIES,
+    ShardedExecutor,
+    worker_state,
+)
+
+
+class SetSimShardState:
+    """Read-only state shared with setsim matching workers."""
+
+    __slots__ = ("index", "source_token_ids", "source_values", "target_values")
+
+    def __init__(
+        self,
+        index: SetSimIndex,
+        source_token_ids: list[array[int]],
+        source_values: list[str],
+        target_values: list[str],
+    ) -> None:
+        self.index = index
+        self.source_token_ids = source_token_ids
+        self.source_values = source_values
+        self.target_values = target_values
+
+    def __getstate__(self):
+        return (
+            self.index,
+            self.source_token_ids,
+            self.source_values,
+            self.target_values,
+        )
+
+    def __setstate__(self, state) -> None:
+        (
+            self.index,
+            self.source_token_ids,
+            self.source_values,
+            self.target_values,
+        ) = state
+
+
+def _setsim_worker(start: int, stop: int) -> tuple[list[RowPair], int]:
+    """Match source rows [start, stop) against the shared prefix index."""
+    state: SetSimShardState = worker_state()
+    return match_token_rows(
+        state.index,
+        state.source_token_ids,
+        state.source_values,
+        state.target_values,
+        start=start,
+        stop=stop,
+    )
+
+
+def sharded_setsim_match(
+    index: SetSimIndex,
+    source_token_ids: Sequence[array[int]],
+    source_values: Sequence[str],
+    target_values: Sequence[str],
+    *,
+    num_workers: int,
+    start_method: str | None = None,
+    task_timeout: float | None = None,
+    max_shard_retries: int = DEFAULT_MAX_SHARD_RETRIES,
+    serial_fallback: bool = True,
+) -> tuple[list[RowPair], int]:
+    """Set-similarity matches for the source rows, sharded across processes.
+
+    *index* must have been built over *target_values* and *source_token_ids*
+    ranked with the same global token ordering.  Returns ``(pairs,
+    candidates)`` identical to the serial
+    :func:`~repro.matching.setsim.match_token_rows` over all rows —
+    ``task_timeout``/``max_shard_retries``/``serial_fallback`` configure the
+    executor's recovery behaviour.
+    """
+    state = SetSimShardState(
+        index,
+        list(source_token_ids),
+        list(source_values),
+        list(target_values),
+    )
+    executor = ShardedExecutor(
+        state,
+        num_workers=num_workers,
+        start_method=start_method,
+        task_timeout=task_timeout,
+        max_shard_retries=max_shard_retries,
+        serial_fallback=serial_fallback,
+    )
+    pairs: list[RowPair] = []
+    candidates = 0
+    with executor:
+        for shard_pairs, shard_candidates in executor.map_shards(
+            _setsim_worker, len(state.source_token_ids)
+        ):
+            pairs.extend(shard_pairs)
+            candidates += shard_candidates
+    return pairs, candidates

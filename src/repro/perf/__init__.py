@@ -9,7 +9,11 @@ trajectory of the reproduction is tracked in-repo from PR to PR.  Every run
 can include the preserved seed implementations
 (:class:`~repro.matching.reference.ReferenceRowMatcher`, unbatched coverage)
 next to the packed fast path, giving a before/after comparison — and a
-byte-identical-results check — in one report.
+byte-identical-results check — in one report.  The matching ladder
+additionally runs the prefix-filtered setsim engine
+(:mod:`repro.matching.setsim`) head-to-head against the n-gram engines on
+identical inputs, recording the candidate-pruning ratio (post-filter
+candidates / all pairs) next to the wall time.
 
 Run it with ``python -m repro.perf`` (see ``--help``); ``--smoke`` executes
 the smallest ladder rung only and fails loudly when stage timings are missing

@@ -26,6 +26,7 @@ from repro.perf.runner import (
     DEFAULT_LADDER,
     DEFAULT_WORKERS,
     ENGINES,
+    MATCHING_ENGINES,
     BenchmarkRunner,
     compare_to_baseline,
     validate_payload,
@@ -67,10 +68,10 @@ def _parse_workers(text: str) -> tuple[int, ...]:
 
 def _parse_engines(text: str) -> tuple[str, ...]:
     engines = tuple(part.strip() for part in text.split(",") if part.strip())
-    unknown = [engine for engine in engines if engine not in ENGINES]
+    unknown = [engine for engine in engines if engine not in MATCHING_ENGINES]
     if unknown:
         raise argparse.ArgumentTypeError(
-            f"unknown engines {unknown}; valid engines: {list(ENGINES)}"
+            f"unknown engines {unknown}; valid engines: {list(MATCHING_ENGINES)}"
         )
     return engines
 
@@ -99,8 +100,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--engines",
         type=_parse_engines,
-        default=ENGINES,
-        help="comma-separated engines out of seed,packed (default: both)",
+        default=MATCHING_ENGINES,
+        help=(
+            "comma-separated engines out of seed,packed,setsim (default: "
+            "all); setsim runs on the matching ladder only — the discovery "
+            "ladder silently drops it (it swaps the candidate generator, "
+            "not the discovery machinery)"
+        ),
     )
     parser.add_argument(
         "--workers",
@@ -278,8 +284,12 @@ def main(argv: list[str] | None = None) -> int:
     ladder = args.ladder
     engines = args.engines
     if args.smoke:
+        # Smoke both fast engines: a regression in either matcher (or a
+        # sharded-identity break, with --workers > 1) must fail CI.
         ladder = (min(ladder),)
-        engines = ("packed",)
+        engines = tuple(e for e in ("packed", "setsim") if e in engines) or (
+            "packed",
+        )
 
     runner = BenchmarkRunner(
         ladder=ladder,
@@ -298,25 +308,46 @@ def main(argv: list[str] | None = None) -> int:
                 engines=engines, max_seed_rows=args.max_seed_rows
             )
         else:
+            discovery_engines = tuple(e for e in engines if e != "setsim")
+            if not discovery_engines:
+                print(
+                    "[discovery] skipped: setsim is a matching-only engine",
+                    file=sys.stderr,
+                )
+                continue
             payload = runner.run_discovery(
-                engines=engines, max_seed_rows=args.max_seed_rows
+                engines=discovery_engines, max_seed_rows=args.max_seed_rows
             )
         path = runner.write(benchmark, payload)
         problems.extend(
             f"{benchmark}: {problem}" for problem in validate_payload(payload)
         )
-        if args.baseline and benchmark == "discovery":
+        if args.baseline:
             baseline_path = Path(args.baseline) / f"BENCH_{benchmark}.json"
             if baseline_path.is_file():
                 baseline_payload = json.loads(
                     baseline_path.read_text(encoding="utf-8")
                 )
-                problems.extend(
-                    f"{benchmark}: {problem}"
-                    for problem in compare_to_baseline(
-                        payload, baseline_payload, factor=args.baseline_factor
+                if benchmark == "discovery":
+                    comparisons = [("packed", "applying_transformations")]
+                else:
+                    # The matching guard covers both fast engines: a
+                    # quadratic slip in either matcher must trip it.
+                    comparisons = [
+                        ("packed", "row_matching"),
+                        ("setsim", "row_matching"),
+                    ]
+                for engine, stage in comparisons:
+                    problems.extend(
+                        f"{benchmark}: {problem}"
+                        for problem in compare_to_baseline(
+                            payload,
+                            baseline_payload,
+                            engine=engine,
+                            stage=stage,
+                            factor=args.baseline_factor,
+                        )
                     )
-                )
             else:
                 problems.append(
                     f"{benchmark}: baseline file {baseline_path} not found"
@@ -324,6 +355,11 @@ def main(argv: list[str] | None = None) -> int:
         for rung in payload["rungs"]:
             summary = ", ".join(
                 f"{engine}={record['total_s']:.2f}s"
+                + (
+                    f" (prune {record['pruning_ratio']:.4f})"
+                    if "pruning_ratio" in record
+                    else ""
+                )
                 for engine, record in rung["engines"].items()
             )
             speedup = ""

@@ -52,19 +52,49 @@ from repro.datasets.synthetic import SyntheticConfig, generate_table_pair
 from repro.join.joiner import TransformationJoiner
 from repro.matching.reference import ReferenceRowMatcher
 from repro.matching.row_matcher import MatchingConfig, NGramRowMatcher, RowMatcher
+from repro.matching.setsim import SetSimRowMatcher
 from repro.parallel.executor import default_start_method, tuned_num_workers
 
 #: The default synthetic size ladder (number of rows per rung).
 DEFAULT_LADDER: tuple[int, ...] = (1000, 5000, 10000, 25000)
 
-#: Engines the runner knows how to build.  "seed" is the preserved original
-#: implementation (reference matcher + unbatched coverage); "packed" is the
-#: packed-index matcher + trie-batched coverage.
+#: Engines the full (matching + discovery) pipeline knows how to build.
+#: "seed" is the preserved original implementation (reference matcher +
+#: unbatched coverage); "packed" is the packed-index matcher + trie-batched
+#: coverage.
 ENGINES: tuple[str, ...] = ("seed", "packed")
+
+#: Engines of the matching-only benchmark: the pipeline engines plus
+#: "setsim", the prefix-filtered set-similarity matcher.  setsim is a
+#: *different candidate-generation regime* (token-set similarity, not
+#: representative n-grams), so it is compared head-to-head on wall time and
+#: candidate pruning, never on match-set identity with the n-gram family.
+MATCHING_ENGINES: tuple[str, ...] = ("seed", "packed", "setsim")
+
+#: Configuration of the setsim engine on the synthetic ladder.  The
+#: synthetic rows are separator-free alphanumeric strings, so the engine
+#: tokenizes into character q-grams; the threshold is calibrated so true
+#: (source, transformed-target) pairs — which share the transformation's
+#: substring placeholders — clear it while unrelated random rows do not.
+SETSIM_BENCH_SIMILARITY = "jaccard"
+SETSIM_BENCH_THRESHOLD = 0.2
+SETSIM_BENCH_TOKENIZER = "qgram"
+SETSIM_BENCH_QGRAM = 4
 
 #: The default workers axis: serial only.  The checked-in BENCH files are
 #: regenerated with ``--workers 1,2,4,8``.
 DEFAULT_WORKERS: tuple[int, ...] = (1,)
+
+
+def _engine_family(label: str) -> str:
+    """The candidate-generation family of an engine/worker label.
+
+    "seed", "packed" and every "packed-w<n>" variant are the n-gram family
+    (they must produce identical pairs); "setsim" and its worker variants
+    are the set-similarity family.  Identity is only ever asserted *within*
+    a family — across families the engines legitimately differ.
+    """
+    return "setsim" if label.startswith("setsim") else "ngram"
 
 
 def host_metadata() -> dict:
@@ -149,14 +179,27 @@ class BenchmarkRunner:
     # Engines and inputs
     # ------------------------------------------------------------------ #
     def matcher_for(self, engine: str, num_workers: int = 1) -> RowMatcher:
-        """The row matcher of *engine* ("seed" or "packed")."""
+        """The row matcher of *engine* ("seed", "packed" or "setsim")."""
         if engine == "seed":
             if num_workers != 1:
                 raise ValueError("the seed engine is serial; num_workers must be 1")
             return ReferenceRowMatcher(MatchingConfig())
         if engine == "packed":
             return NGramRowMatcher(MatchingConfig(num_workers=num_workers))
-        raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
+        if engine == "setsim":
+            return SetSimRowMatcher(
+                MatchingConfig(
+                    engine="setsim",
+                    setsim_similarity=SETSIM_BENCH_SIMILARITY,
+                    setsim_threshold=SETSIM_BENCH_THRESHOLD,
+                    setsim_tokenizer=SETSIM_BENCH_TOKENIZER,
+                    setsim_qgram=SETSIM_BENCH_QGRAM,
+                    num_workers=num_workers,
+                )
+            )
+        raise ValueError(
+            f"unknown engine {engine!r}; expected one of {MATCHING_ENGINES}"
+        )
 
     def discovery_for(self, engine: str, num_workers: int = 1) -> TransformationDiscovery:
         """The discovery engine of *engine* ("seed" or "packed")."""
@@ -171,6 +214,14 @@ class BenchmarkRunner:
         elif engine == "packed":
             config = DiscoveryConfig(
                 sample_size=self.sample_size, num_workers=num_workers
+            )
+        elif engine == "setsim":
+            # setsim is a matching-only engine: it swaps the candidate
+            # generator, not the discovery/coverage machinery, so it has no
+            # place on the discovery ladder.
+            raise ValueError(
+                "the setsim engine benchmarks matching only; "
+                "run it on the matching ladder"
             )
         else:
             raise ValueError(f"unknown engine {engine!r}; expected one of {ENGINES}")
@@ -201,12 +252,32 @@ class BenchmarkRunner:
         num_workers: int = 1,
         values: tuple[list[str], list[str]] | None = None,
     ) -> tuple[dict, list]:
-        """Time row matching at one rung; returns (record, pairs)."""
+        """Time row matching at one rung; returns (record, pairs).
+
+        setsim records additionally carry the candidate-pruning statistics
+        (``all_pairs``, ``candidates_post_filter``, ``pruning_ratio``) — the
+        pruning ratio is the headline number of the engine comparison: it is
+        the fraction of the brute-force pair space that survived the
+        prefix/size/position filters and paid for exact verification.
+        """
         source_values, target_values = values or self.rung_values(num_rows)
         matcher = self.matcher_for(engine, num_workers)
-        started = time.perf_counter()
-        pairs = matcher.match_values(source_values, target_values)
-        elapsed = time.perf_counter() - started
+        extra: dict = {}
+        if isinstance(matcher, SetSimRowMatcher):
+            started = time.perf_counter()
+            pairs, stats = matcher.match_values_with_stats(
+                source_values, target_values
+            )
+            elapsed = time.perf_counter() - started
+            extra = {
+                "all_pairs": stats.all_pairs,
+                "candidates_post_filter": stats.candidates,
+                "pruning_ratio": round(stats.pruning_ratio, 6),
+            }
+        else:
+            started = time.perf_counter()
+            pairs = matcher.match_values(source_values, target_values)
+            elapsed = time.perf_counter() - started
         record = {
             "stages": {"row_matching": elapsed},
             "total_s": elapsed,
@@ -218,6 +289,7 @@ class BenchmarkRunner:
             "effective_workers": tuned_num_workers(
                 num_workers, len(source_values)
             ),
+            **extra,
         }
         return record, pairs
 
@@ -299,10 +371,15 @@ class BenchmarkRunner:
     def run_matching(
         self,
         *,
-        engines: Sequence[str] = ENGINES,
+        engines: Sequence[str] = MATCHING_ENGINES,
         max_seed_rows: int = 10000,
     ) -> dict:
-        """Sweep the ladder timing row matching only."""
+        """Sweep the ladder timing row matching only.
+
+        By default the sweep runs both n-gram engines *and* the setsim
+        engine head-to-head on identical inputs; setsim rungs record the
+        candidate-pruning ratio next to the wall time.
+        """
         return self._run_ladder("matching", engines, max_seed_rows, discovery=False)
 
     def run_discovery(
@@ -332,8 +409,8 @@ class BenchmarkRunner:
                     # The seed engine is O(slow); cap how far up the ladder it
                     # climbs.  The packed engine still records the rung.
                     continue
-                # The workers axis applies to the packed engine only; the
-                # seed engine is the serial executable spec.
+                # The workers axis applies to the sharded engines (packed,
+                # setsim); the seed engine is the serial executable spec.
                 worker_counts = (1,) if engine == "seed" else self.workers
                 for num_workers in worker_counts:
                     label = engine if num_workers == 1 else f"{engine}-w{num_workers}"
@@ -350,33 +427,54 @@ class BenchmarkRunner:
                     engine_records[label] = record
             rung: dict = {"rows": num_rows, "engines": engine_records}
             if len(outputs) > 1:
-                # One flag for the whole rung: every engine/worker variant
-                # must produce the same pairs and the same cover.
-                baseline_label = "packed" if "packed" in outputs else next(iter(outputs))
-                baseline = outputs[baseline_label]
+                # One flag for the whole rung: within each candidate-
+                # generation family (seed/packed n-grams vs setsim), every
+                # engine/worker variant must produce the same pairs and the
+                # same cover.  The families are *different regimes* — they
+                # legitimately match different pair sets — so they are
+                # compared on wall time and pruning, never on identity.
                 rung["identical"] = all(
-                    output == baseline for output in outputs.values()
+                    self._family_identical(outputs, family)
+                    for family in {_engine_family(label) for label in outputs}
                 )
             self._speedup_summary(rung, engine_records)
             parallel = self._parallel_summary(engine_records)
             if parallel:
                 rung["parallel"] = parallel
             rungs.append(rung)
+        config: dict = {
+            "ladder": list(self.ladder),
+            "row_length": self.row_length,
+            "sample_size": self.sample_size,
+            "seed": self.seed,
+            "engines": list(engines),
+            "workers": list(self.workers),
+            "max_seed_rows": max_seed_rows,
+        }
+        if "setsim" in engines:
+            config["setsim"] = {
+                "similarity": SETSIM_BENCH_SIMILARITY,
+                "threshold": SETSIM_BENCH_THRESHOLD,
+                "tokenizer": SETSIM_BENCH_TOKENIZER,
+                "qgram": SETSIM_BENCH_QGRAM,
+            }
         return {
             "benchmark": benchmark,
             "harness": "repro.perf.BenchmarkRunner",
             "host": host_metadata(),
-            "config": {
-                "ladder": list(self.ladder),
-                "row_length": self.row_length,
-                "sample_size": self.sample_size,
-                "seed": self.seed,
-                "engines": list(engines),
-                "workers": list(self.workers),
-                "max_seed_rows": max_seed_rows,
-            },
+            "config": config,
             "rungs": rungs,
         }
+
+    @staticmethod
+    def _family_identical(outputs: dict[str, tuple], family: str) -> bool:
+        """Whether every engine/worker variant of *family* agrees exactly."""
+        labels = [label for label in outputs if _engine_family(label) == family]
+        # The family's serial engine is the baseline when present (its label
+        # carries no -w suffix); any member works otherwise.
+        baseline_label = min(labels, key=len)
+        baseline = outputs[baseline_label]
+        return all(outputs[label] == baseline for label in labels)
 
     @staticmethod
     def _speedup_summary(rung: dict, engine_records: dict[str, dict]) -> None:
@@ -393,6 +491,16 @@ class BenchmarkRunner:
         (``applying_transformations``) visible in the BENCH JSON rather
         than buried in the total.
         """
+        # The cross-regime headline: serial setsim vs serial packed wall
+        # time on identical inputs (they solve the same candidate-generation
+        # problem under different filters, so the ratio is the honest
+        # engine-vs-engine comparison even though their match sets differ).
+        packed = engine_records.get("packed")
+        setsim = engine_records.get("setsim")
+        if packed and setsim and setsim["total_s"] > 0:
+            rung["setsim_vs_packed"] = round(
+                packed["total_s"] / setsim["total_s"], 2
+            )
         if "seed" in engine_records and "packed" in engine_records:
             baseline_label, engine_label = "seed", "packed"
         elif "packed" in engine_records:
@@ -437,24 +545,25 @@ class BenchmarkRunner:
         Read efficiency against ``host.cpu_count``: with fewer cores than
         workers the ceiling is ``cpu_count / workers``, not 1.0.
         """
-        serial = engine_records.get("packed")
-        if serial is None or serial["total_s"] <= 0:
-            return {}
         summary = {}
-        for label, record in engine_records.items():
-            num_workers = record.get("num_workers", 1)
-            if num_workers <= 1 or not label.startswith("packed"):
+        for engine in ("packed", "setsim"):
+            serial = engine_records.get(engine)
+            if serial is None or serial["total_s"] <= 0:
                 continue
-            if record["total_s"] <= 0:
-                continue
-            effective = record.get("effective_workers", num_workers)
-            speedup = serial["total_s"] / record["total_s"]
-            summary[label] = {
-                "workers": num_workers,
-                "effective_workers": effective,
-                "speedup_vs_serial": round(speedup, 2),
-                "efficiency": round(speedup / max(effective, 1), 2),
-            }
+            for label, record in engine_records.items():
+                num_workers = record.get("num_workers", 1)
+                if num_workers <= 1 or not label.startswith(f"{engine}-w"):
+                    continue
+                if record["total_s"] <= 0:
+                    continue
+                effective = record.get("effective_workers", num_workers)
+                speedup = serial["total_s"] / record["total_s"]
+                summary[label] = {
+                    "workers": num_workers,
+                    "effective_workers": effective,
+                    "speedup_vs_serial": round(speedup, 2),
+                    "efficiency": round(speedup / max(effective, 1), 2),
+                }
         return summary
 
     # ------------------------------------------------------------------ #
@@ -510,6 +619,27 @@ def validate_payload(payload: dict) -> list[str]:
                 problems.append(f"{label}: no candidate pairs produced")
             if "num_transformations" in record and record["num_transformations"] <= 0:
                 problems.append(f"{label}: no transformations generated")
+            if engine.startswith("setsim"):
+                # setsim records must carry the pruning statistics — they
+                # are the benchmark's headline — and the statistics must be
+                # internally consistent (a candidate count outside
+                # [matches, all_pairs] means a broken filter or counter).
+                all_pairs = record.get("all_pairs", 0)
+                candidates = record.get("candidates_post_filter")
+                if all_pairs <= 0:
+                    problems.append(f"{label}: no all_pairs count recorded")
+                if candidates is None:
+                    problems.append(f"{label}: no post-filter candidate count")
+                elif not record.get("num_pairs", 0) <= candidates <= all_pairs:
+                    problems.append(
+                        f"{label}: candidate count {candidates} outside "
+                        f"[matches, all_pairs]"
+                    )
+                ratio = record.get("pruning_ratio")
+                if ratio is None or not 0.0 <= ratio <= 1.0:
+                    problems.append(
+                        f"{label}: pruning_ratio missing or outside [0, 1]"
+                    )
             if is_discovery and stages and "apply_only" not in stages:
                 # Discovery payloads must track apply throughput separately
                 # from training — a missing stage means the apply-only path

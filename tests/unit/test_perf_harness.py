@@ -41,11 +41,15 @@ class TestBenchmarkRunner:
         assert matching["benchmark"] == "matching"
         assert [rung["rows"] for rung in matching["rungs"]] == [40, 80]
         for rung in matching["rungs"]:
-            assert set(rung["engines"]) == {"seed", "packed"}
+            # The matching ladder runs the setsim engine head-to-head with
+            # the n-gram engines by default; identity is asserted within
+            # each family only (setsim legitimately matches a different set).
+            assert set(rung["engines"]) == {"seed", "packed", "setsim"}
             assert rung["identical"] is True
             for record in rung["engines"].values():
                 assert record["num_pairs"] > 0
                 assert record["stages"]["row_matching"] >= 0
+            assert rung["setsim_vs_packed"] > 0
         assert validate_payload(matching) == []
 
     def test_discovery_payload_records_stage_breakdown(self, tiny_runner_payloads):
@@ -103,8 +107,8 @@ class TestBenchmarkRunner:
         runner = BenchmarkRunner(ladder=(30, 60), sample_size=15)
         payload = runner.run_matching(max_seed_rows=30)
         by_rows = {rung["rows"]: rung for rung in payload["rungs"]}
-        assert set(by_rows[30]["engines"]) == {"seed", "packed"}
-        assert set(by_rows[60]["engines"]) == {"packed"}
+        assert set(by_rows[30]["engines"]) == {"seed", "packed", "setsim"}
+        assert set(by_rows[60]["engines"]) == {"packed", "setsim"}
         assert "speedup" not in by_rows[60]
 
     def test_write_emits_json_file(self, tiny_runner_payloads, tmp_path):
@@ -149,9 +153,21 @@ class TestWorkersAxis:
 
     def test_records_one_engine_per_worker_count(self, workers_payloads):
         _, matching, discovery = workers_payloads
+        for rung in matching["rungs"]:
+            # The workers axis sweeps both sharded engines on the matching
+            # ladder; the discovery ladder has no setsim variant.
+            assert set(rung["engines"]) == {
+                "seed",
+                "packed",
+                "packed-w2",
+                "setsim",
+                "setsim-w2",
+            }
+            assert rung["engines"]["setsim-w2"]["num_workers"] == 2
+        for rung in discovery["rungs"]:
+            assert set(rung["engines"]) == {"seed", "packed", "packed-w2"}
         for payload in (matching, discovery):
             for rung in payload["rungs"]:
-                assert set(rung["engines"]) == {"seed", "packed", "packed-w2"}
                 assert rung["engines"]["packed-w2"]["num_workers"] == 2
                 assert rung["identical"] is True
             assert payload["config"]["workers"] == [1, 2]
